@@ -1,0 +1,115 @@
+//! Scheduling criteria built on the Section V estimates.
+//!
+//! The heuristics of Section VI rank candidate configurations by one of four
+//! criteria, all derived from the estimated probability of success `P` and
+//! expected completion time `E` of the current iteration:
+//!
+//! * **probability of success** `P`,
+//! * **expected completion time** `E`,
+//! * **yield** `Y = P / (E + t)` where `t` is the time already spent in the
+//!   current iteration,
+//! * **apparent yield** `AY = P / E` (only the remaining work matters).
+
+use serde::{Deserialize, Serialize};
+
+/// Combined estimate for one full iteration (communication + computation) of a
+/// candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationEstimate {
+    /// Probability that the whole iteration succeeds (no enrolled worker goes
+    /// `DOWN`): product of the communication- and computation-phase estimates.
+    pub success_probability: f64,
+    /// Expected duration of the whole iteration in slots: sum of the
+    /// communication- and computation-phase estimates.
+    pub expected_duration: f64,
+}
+
+impl IterationEstimate {
+    /// Combine a communication-phase estimate with a computation-phase estimate.
+    pub fn combine(
+        comm_duration: f64,
+        comm_success: f64,
+        comp_duration: f64,
+        comp_success: f64,
+    ) -> Self {
+        IterationEstimate {
+            success_probability: (comm_success * comp_success).clamp(0.0, 1.0),
+            expected_duration: comm_duration + comp_duration,
+        }
+    }
+
+    /// Yield of the configuration given that `elapsed` slots were already spent
+    /// in the current iteration.
+    pub fn yield_metric(&self, elapsed: u64) -> f64 {
+        yield_metric(self.success_probability, self.expected_duration, elapsed)
+    }
+
+    /// Apparent yield of the configuration (ignores time already spent).
+    pub fn apparent_yield(&self) -> f64 {
+        apparent_yield(self.success_probability, self.expected_duration)
+    }
+}
+
+/// Yield `Y = P / (E + t)`: expected inverse execution time of the iteration,
+/// accounting for the `t` slots already spent on it.
+pub fn yield_metric(probability: f64, expected_time: f64, elapsed: u64) -> f64 {
+    let denom = expected_time + elapsed as f64;
+    if denom <= 0.0 {
+        if probability > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        probability / denom
+    }
+}
+
+/// Apparent yield `AY = P / E`: only the remaining (future) work counts.
+pub fn apparent_yield(probability: f64, expected_time: f64) -> f64 {
+    yield_metric(probability, expected_time, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_accounts_for_elapsed_time() {
+        let y0 = yield_metric(0.8, 10.0, 0);
+        let y5 = yield_metric(0.8, 10.0, 5);
+        assert!((y0 - 0.08).abs() < 1e-12);
+        assert!((y5 - 0.8 / 15.0).abs() < 1e-12);
+        assert!(y5 < y0);
+    }
+
+    #[test]
+    fn apparent_yield_is_yield_without_elapsed() {
+        assert_eq!(apparent_yield(0.5, 20.0), yield_metric(0.5, 20.0, 0));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(yield_metric(0.5, 0.0, 0), f64::INFINITY);
+        assert_eq!(yield_metric(0.0, 0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn combine_multiplies_probabilities_and_adds_durations() {
+        let e = IterationEstimate::combine(4.0, 0.9, 6.0, 0.8);
+        assert!((e.expected_duration - 10.0).abs() < 1e-12);
+        assert!((e.success_probability - 0.72).abs() < 1e-12);
+        assert!((e.yield_metric(0) - 0.072).abs() < 1e-12);
+        assert!((e.yield_metric(10) - 0.036).abs() < 1e-12);
+        assert!((e.apparent_yield() - 0.072).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_probability_or_shorter_time_improves_yield() {
+        let base = IterationEstimate::combine(2.0, 0.9, 8.0, 0.9);
+        let better_p = IterationEstimate::combine(2.0, 0.95, 8.0, 0.95);
+        let faster = IterationEstimate::combine(2.0, 0.9, 5.0, 0.9);
+        assert!(better_p.yield_metric(3) > base.yield_metric(3));
+        assert!(faster.yield_metric(3) > base.yield_metric(3));
+    }
+}

@@ -1,0 +1,317 @@
+//! High-level, memoized estimator used by the scheduling heuristics.
+//!
+//! The incremental heuristics of Section VI evaluate the Section V estimates
+//! for many closely related worker sets (the current set `S` plus one
+//! candidate worker, for every candidate and every task). The [`Estimator`]
+//! front-end caches the per-set [`GroupQuantities`] so that repeated
+//! evaluations of the same set cost one hash lookup.
+
+use crate::comm::CommEstimate;
+use crate::criteria::IterationEstimate;
+use crate::group::{GroupComputation, GroupQuantities};
+use crate::series::WorkerSeries;
+use dg_platform::{MasterSpec, Platform};
+use std::collections::HashMap;
+
+/// Memoized computation of the Section V estimates for one platform.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    series: Vec<WorkerSeries>,
+    speeds: Vec<u64>,
+    ncom: usize,
+    computation: GroupComputation,
+    use_paper_formula: bool,
+    group_cache: HashMap<Vec<usize>, GroupQuantities>,
+    no_down_cache: HashMap<(usize, u64), f64>,
+}
+
+impl Estimator {
+    /// Build an estimator for `platform` and `master`, with series precision
+    /// `epsilon`.
+    pub fn new(platform: &Platform, master: &MasterSpec, epsilon: f64) -> Self {
+        Estimator {
+            series: platform.chains().iter().map(WorkerSeries::new).collect(),
+            speeds: platform.workers().iter().map(|w| w.speed).collect(),
+            ncom: master.ncom,
+            computation: GroupComputation::new(epsilon),
+            use_paper_formula: false,
+            group_cache: HashMap::new(),
+            no_down_cache: HashMap::new(),
+        }
+    }
+
+    /// Build an estimator with the crate's default precision.
+    pub fn with_default_epsilon(platform: &Platform, master: &MasterSpec) -> Self {
+        Estimator::new(platform, master, crate::DEFAULT_EPSILON)
+    }
+
+    /// Use the conditional-completion-time formula exactly as printed in the
+    /// paper instead of the renewal form (see the `group` module docs).
+    pub fn set_use_paper_formula(&mut self, use_paper: bool) {
+        self.use_paper_formula = use_paper;
+    }
+
+    /// Number of workers known to the estimator.
+    pub fn num_workers(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Speed `w_q` of worker `q`.
+    pub fn speed(&self, q: usize) -> u64 {
+        self.speeds[q]
+    }
+
+    /// The master's `ncom` bound used for communication estimates.
+    pub fn ncom(&self) -> usize {
+        self.ncom
+    }
+
+    /// The availability series of worker `q`.
+    pub fn worker_series(&self, q: usize) -> &WorkerSeries {
+        &self.series[q]
+    }
+
+    /// Group quantities (`Eu`, `A`, `P₊`, `E_c`) for the set of workers
+    /// `members`, memoized on the (sorted, deduplicated) member list.
+    pub fn group(&mut self, members: &[usize]) -> GroupQuantities {
+        let mut key: Vec<usize> = members.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(g) = self.group_cache.get(&key) {
+            return *g;
+        }
+        let refs: Vec<&WorkerSeries> = key.iter().map(|&q| &self.series[q]).collect();
+        let g = self.computation.compute(&refs);
+        self.group_cache.insert(key, g);
+        g
+    }
+
+    /// Lock-step computation workload, in slots of simultaneous `UP` time, of
+    /// an assignment: `max_q x_q · w_q` (Section III-C).
+    pub fn computation_workload(&self, members: &[usize], tasks: &[usize]) -> u64 {
+        members
+            .iter()
+            .zip(tasks.iter())
+            .map(|(&q, &x)| self.speeds[q] * x as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Expected duration (conditioned on success) of a computation of `w`
+    /// slots by the set `members`.
+    pub fn expected_computation_time(&mut self, members: &[usize], w: u64) -> f64 {
+        let g = self.group(members);
+        if self.use_paper_formula {
+            g.expected_completion_time_paper(w)
+        } else {
+            g.expected_completion_time(w)
+        }
+    }
+
+    /// Probability that the set `members` completes `w` slots of simultaneous
+    /// computation without any failure.
+    pub fn computation_success_probability(&mut self, members: &[usize], w: u64) -> f64 {
+        self.group(members).prob_success(w)
+    }
+
+    /// Memoized `P^(q)_{ND}(t)`: probability that worker `q` does not go
+    /// `DOWN` within `t` slots, starting `UP`.
+    pub fn no_down_within(&mut self, q: usize, t: u64) -> f64 {
+        if let Some(&p) = self.no_down_cache.get(&(q, t)) {
+            return p;
+        }
+        let p = self.series[q].no_down_within(t);
+        self.no_down_cache.insert((q, t), p);
+        p
+    }
+
+    /// Communication-phase estimate for enrolled workers `members`, where
+    /// `comm_slots[i]` is the number of communication slots worker
+    /// `members[i]` still needs (program + missing data messages).
+    pub fn comm_estimate(&mut self, members: &[usize], comm_slots: &[u64]) -> CommEstimate {
+        assert_eq!(members.len(), comm_slots.len(), "one comm volume per member");
+        if members.is_empty() || comm_slots.iter().all(|&n| n == 0) {
+            return CommEstimate::nothing_to_send();
+        }
+
+        // Per-worker expected communication time, through the memoized
+        // single-worker group quantities.
+        let mut max_single = 0.0f64;
+        for (&q, &n) in members.iter().zip(comm_slots.iter()) {
+            if n == 0 {
+                continue;
+            }
+            let g = self.group(&[q]);
+            let e = if self.use_paper_formula {
+                g.expected_completion_time_paper(n)
+            } else {
+                g.expected_completion_time(n)
+            };
+            max_single = max_single.max(e);
+        }
+
+        let total: u64 = comm_slots.iter().sum();
+        let expected_duration = if members.len() <= self.ncom {
+            max_single
+        } else {
+            max_single.max(total as f64 / self.ncom as f64)
+        };
+
+        let horizon = expected_duration.ceil() as u64;
+        let mut success_probability = 1.0;
+        for &q in members {
+            success_probability *= self.no_down_within(q, horizon);
+        }
+
+        CommEstimate {
+            expected_duration,
+            success_probability: success_probability.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Full iteration estimate (communication followed by lock-step
+    /// computation) for a candidate configuration.
+    ///
+    /// * `members[i]` — enrolled worker index,
+    /// * `tasks[i]` — number of tasks assigned to that worker,
+    /// * `comm_slots[i]` — communication slots that worker still needs.
+    pub fn iteration_estimate(
+        &mut self,
+        members: &[usize],
+        tasks: &[usize],
+        comm_slots: &[u64],
+    ) -> IterationEstimate {
+        assert_eq!(members.len(), tasks.len(), "one task count per member");
+        let w = self.computation_workload(members, tasks);
+        let comm = self.comm_estimate(members, comm_slots);
+        let comp_e = self.expected_computation_time(members, w);
+        let comp_p = self.computation_success_probability(members, w);
+        IterationEstimate::combine(
+            comm.expected_duration,
+            comm.success_probability,
+            comp_e,
+            comp_p,
+        )
+    }
+
+    /// Number of distinct worker sets currently memoized (exposed for the
+    /// heuristic-cost ablation bench).
+    pub fn cached_sets(&self) -> usize {
+        self.group_cache.len()
+    }
+
+    /// Drop all memoized group quantities.
+    pub fn clear_cache(&mut self) {
+        self.group_cache.clear();
+        self.no_down_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_availability::rng::rng_from_seed;
+    use dg_platform::{ApplicationSpec, Scenario, ScenarioParams, WorkerSpec};
+
+    fn paper_scenario() -> Scenario {
+        Scenario::generate(ScenarioParams::paper(5, 5, 2), 42)
+    }
+
+    #[test]
+    fn caching_returns_identical_values() {
+        let s = paper_scenario();
+        let mut est = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let a = est.group(&[0, 3, 7]);
+        let b = est.group(&[7, 0, 3]); // order must not matter
+        let c = est.group(&[0, 3, 7, 3]); // duplicates must not matter
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(est.cached_sets(), 1);
+        est.clear_cache();
+        assert_eq!(est.cached_sets(), 0);
+    }
+
+    #[test]
+    fn workload_is_max_of_task_times() {
+        let platform = dg_platform::Platform::new(
+            vec![WorkerSpec::new(2), WorkerSpec::new(3), WorkerSpec::new(4)],
+            vec![dg_availability::MarkovChain3::always_up(); 3],
+        );
+        let master = dg_platform::MasterSpec::from_slots(2, 2, 1);
+        let est = Estimator::with_default_epsilon(&platform, &master);
+        // Example of Figure 1: 2 tasks on w=2, 2 tasks on w=3, 1 task on w=4
+        // -> workload 6.
+        assert_eq!(est.computation_workload(&[0, 1, 2], &[2, 2, 1]), 6);
+        assert_eq!(est.computation_workload(&[], &[]), 0);
+    }
+
+    #[test]
+    fn reliable_platform_estimates_are_exact() {
+        let platform = dg_platform::Platform::reliable_homogeneous(3, 2);
+        let master = dg_platform::MasterSpec::from_slots(3, 2, 1);
+        let app = ApplicationSpec::new(3, 1);
+        let _ = app;
+        let mut est = Estimator::with_default_epsilon(&platform, &master);
+        // Each worker: program (2) + 1 data (1) = 3 comm slots; all fit under ncom.
+        let it = est.iteration_estimate(&[0, 1, 2], &[1, 1, 1], &[3, 3, 3]);
+        assert!((it.success_probability - 1.0).abs() < 1e-9);
+        // comm = 3 slots, computation = 1 task * speed 2 = 2 slots.
+        assert!((it.expected_duration - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn riskier_worker_lowers_probability_and_raises_time() {
+        let s = paper_scenario();
+        let mut est = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let small = est.iteration_estimate(&[0, 1], &[1, 1], &[2, 2]);
+        let bigger = est.iteration_estimate(&[0, 1, 2, 3, 4, 5], &[1, 1, 1, 1, 1, 1], &[2; 6]);
+        assert!(bigger.success_probability <= small.success_probability + 1e-12);
+    }
+
+    #[test]
+    fn comm_estimate_over_ncom_uses_aggregate_bound() {
+        let platform = dg_platform::Platform::reliable_homogeneous(6, 1);
+        let master = dg_platform::MasterSpec::from_slots(2, 4, 1);
+        let mut est = Estimator::with_default_epsilon(&platform, &master);
+        let members: Vec<usize> = (0..6).collect();
+        let comm = est.comm_estimate(&members, &[5; 6]);
+        // total 30 slots over ncom=2 -> at least 15.
+        assert!((comm.expected_duration - 15.0).abs() < 1e-6);
+        assert!((comm.success_probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_formula_toggle_changes_only_duration_model() {
+        let s = paper_scenario();
+        let mut est = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let members = [0usize, 1, 2];
+        let w = 20;
+        let renewal = est.expected_computation_time(&members, w);
+        est.set_use_paper_formula(true);
+        let paper = est.expected_computation_time(&members, w);
+        // Both are >= W; the paper's literal formula divides by P₊^{W-1} and is
+        // therefore never smaller than the renewal form.
+        assert!(renewal >= w as f64 - 1e-9);
+        assert!(paper >= renewal - 1e-9);
+        // Success probabilities are identical under both readings.
+        est.set_use_paper_formula(false);
+        let p1 = est.computation_success_probability(&members, w);
+        est.set_use_paper_formula(true);
+        let p2 = est.computation_success_probability(&members, w);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn estimator_handles_every_subset_size() {
+        let mut rng = rng_from_seed(9);
+        let platform = dg_platform::Platform::sample_paper_model(10, 1, &mut rng);
+        let master = dg_platform::MasterSpec::from_slots(5, 5, 1);
+        let mut est = Estimator::with_default_epsilon(&platform, &master);
+        for k in 1..=10usize {
+            let members: Vec<usize> = (0..k).collect();
+            let g = est.group(&members);
+            assert!(g.p_plus > 0.0 && g.p_plus <= 1.0);
+            assert!(g.e_c.is_finite());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-worker series `t ↦ P^(q)_{u →t→ u}`.
+//!
+//! For each worker the quantity of interest is the probability of being `UP`
+//! at time `t` without having been `DOWN` in between, starting `UP` at time 0.
+//! It is `(M_q^t)[0][0]` for the `{UP, RECLAIMED}` sub-matrix `M_q`, and has
+//! the closed form `µ·λ₁ᵗ + ν·λ₂ᵗ`. This module wraps both evaluations and the
+//! per-worker data needed for series truncation.
+
+use dg_availability::markov::UpUpSeries;
+use dg_availability::MarkovChain3;
+use serde::{Deserialize, Serialize};
+
+/// Pre-processed per-worker data for evaluating `P^(q)_{u →t→ u}` cheaply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerSeries {
+    chain: MarkovChain3,
+    closed_form: Option<UpUpSeries>,
+    lambda1: f64,
+    can_fail: bool,
+}
+
+impl WorkerSeries {
+    /// Pre-process one worker's availability chain.
+    pub fn new(chain: &MarkovChain3) -> Self {
+        WorkerSeries {
+            chain: *chain,
+            closed_form: chain.up_up_series(),
+            lambda1: chain.dominant_up_eigenvalue(),
+            can_fail: chain.can_fail(),
+        }
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &MarkovChain3 {
+        &self.chain
+    }
+
+    /// Dominant eigenvalue `λ₁` of the `{UP, RECLAIMED}` sub-matrix.
+    pub fn lambda1(&self) -> f64 {
+        self.lambda1
+    }
+
+    /// `true` if the worker has a non-zero probability of going `DOWN`.
+    pub fn can_fail(&self) -> bool {
+        self.can_fail
+    }
+
+    /// Evaluate `P^(q)_{u →t→ u}`, preferring the closed form and falling back
+    /// to an exact matrix power when the eigen-decomposition is degenerate.
+    #[inline]
+    pub fn up_to_up(&self, t: u64) -> f64 {
+        match &self.closed_form {
+            Some(s) => s.eval(t),
+            None => self.chain.up_to_up_avoiding_down(t),
+        }
+    }
+
+    /// `P^(q)_{ND}(t)`: probability of not going `DOWN` within `t` slots,
+    /// starting `UP`.
+    #[inline]
+    pub fn no_down_within(&self, t: u64) -> f64 {
+        self.chain.prob_no_down_within(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_agrees_with_matrix_power() {
+        let chain = MarkovChain3::from_self_loop_probs(0.94, 0.92, 0.9).unwrap();
+        let s = WorkerSeries::new(&chain);
+        assert!(s.can_fail());
+        for t in 0..300 {
+            let a = s.up_to_up(t);
+            let b = chain.up_to_up_avoiding_down(t);
+            assert!((a - b).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn always_up_worker() {
+        let chain = MarkovChain3::always_up();
+        let s = WorkerSeries::new(&chain);
+        assert!(!s.can_fail());
+        assert!((s.lambda1() - 1.0).abs() < 1e-12);
+        for t in [0, 1, 10, 1000] {
+            assert!((s.up_to_up(t) - 1.0).abs() < 1e-12);
+            assert!((s.no_down_within(t) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn values_bounded_and_decaying() {
+        let chain = MarkovChain3::from_self_loop_probs(0.9, 0.95, 0.93).unwrap();
+        let s = WorkerSeries::new(&chain);
+        assert!(s.lambda1() < 1.0);
+        for t in 0..500u64 {
+            let v = s.up_to_up(t);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v <= s.lambda1().powi(t as i32) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # dg-availability
+//!
+//! Processor availability models for volatile desktop-grid platforms.
+//!
+//! This crate implements the availability substrate of the paper
+//! *"Scheduling Tightly-Coupled Applications on Heterogeneous Desktop Grids"*
+//! (Casanova, Dufossé, Robert, Vivien — HCW/IPDPS 2013):
+//!
+//! * a three-state availability model ([`ProcState`]: `Up`, `Reclaimed`, `Down`),
+//! * a per-processor discrete-time Markov chain over those states
+//!   ([`MarkovChain3`]), parameterized exactly as in Section VII-A of the paper,
+//! * availability trace generation and replay ([`trace`]),
+//! * small dense matrix utilities used both by the samplers and by the
+//!   analytical approximations of Section V ([`matrix`]),
+//! * a semi-Markov extension with Weibull / log-normal holding times
+//!   ([`semi_markov`]), used for the "model mismatch" sensitivity study the
+//!   paper lists as future work,
+//! * empirical statistics over traces ([`stats`]) and deterministic seeding
+//!   helpers ([`rng`]).
+//!
+//! The crate is intentionally free of any scheduling logic: it only answers the
+//! question *"in which state is processor `q` at time-slot `t`?"* and provides
+//! the probabilistic quantities needed to reason about that question.
+
+#![warn(missing_docs)]
+
+pub mod markov;
+pub mod matrix;
+pub mod rng;
+pub mod semi_markov;
+pub mod state;
+pub mod stats;
+pub mod trace;
+
+pub use markov::MarkovChain3;
+pub use matrix::{Matrix2, Matrix3};
+pub use semi_markov::{HoldingTime, SemiMarkovModel};
+pub use state::{ProcState, StateTrace};
+pub use stats::TraceStats;
+pub use trace::{AvailabilityModel, MarkovAvailability, ScriptedAvailability, TraceSet};

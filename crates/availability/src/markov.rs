@@ -1,0 +1,413 @@
+//! Discrete-time 3-state Markov model of processor availability (Section V).
+//!
+//! Each processor `P_q` is described by a 3×3 row-stochastic transition matrix
+//! over the states `UP`, `RECLAIMED`, `DOWN`. Transitions happen independently
+//! at every time-slot. The module also exposes the two quantities the paper's
+//! analytical approximations are built on:
+//!
+//! * the restriction `M_q` of the chain to the *non-failed* states
+//!   `{UP, RECLAIMED}` (a sub-stochastic 2×2 matrix), and
+//! * the probability `P^(q)_{u →t→ u}` that a processor which is `UP` at time 0
+//!   is `UP` again at time `t` **without having been `DOWN` in between**, which
+//!   equals `(M_q^t)[0][0]` and admits the closed form `µ·λ₁ᵗ + ν·λ₂ᵗ` through
+//!   the eigen-decomposition of `M_q`.
+
+use crate::matrix::{Matrix2, Matrix3, STOCHASTIC_TOL};
+use crate::state::ProcState;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Errors produced when building a [`MarkovChain3`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A transition probability is outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Source state of the offending entry.
+        from: ProcState,
+        /// Destination state of the offending entry.
+        to: ProcState,
+        /// Offending value.
+        value: f64,
+    },
+    /// A row of the transition matrix does not sum to 1.
+    RowNotStochastic {
+        /// Source state whose outgoing probabilities are inconsistent.
+        from: ProcState,
+        /// Actual row sum.
+        sum: f64,
+    },
+}
+
+impl std::fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkovError::ProbabilityOutOfRange { from, to, value } => {
+                write!(f, "transition probability {from}->{to} = {value} is outside [0,1]")
+            }
+            MarkovError::RowNotStochastic { from, sum } => {
+                write!(f, "outgoing probabilities of state {from} sum to {sum}, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+/// A 3-state discrete-time Markov chain describing one processor's availability.
+///
+/// States are indexed in the canonical order `UP = 0`, `RECLAIMED = 1`, `DOWN = 2`
+/// (see [`ProcState::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChain3 {
+    transition: Matrix3,
+}
+
+/// Closed-form representation of `t ↦ P^(q)_{u →t→ u}` (probability of being UP
+/// at time `t` without visiting DOWN, starting UP at time 0):
+/// `P(t) = µ·λ₁ᵗ + ν·λ₂ᵗ` with `λ₁ ≥ λ₂`.
+///
+/// Produced by [`MarkovChain3::up_up_series`]; consumed by the analytical
+/// approximations in the `dg-analysis` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpUpSeries {
+    /// Coefficient of the dominant eigenvalue.
+    pub mu: f64,
+    /// Coefficient of the sub-dominant eigenvalue.
+    pub nu: f64,
+    /// Dominant eigenvalue of the `{UP, RECLAIMED}` sub-matrix.
+    pub lambda1: f64,
+    /// Sub-dominant eigenvalue of the `{UP, RECLAIMED}` sub-matrix.
+    pub lambda2: f64,
+}
+
+impl UpUpSeries {
+    /// Evaluate `P_{u →t→ u}` at time `t` using the closed form.
+    #[inline]
+    pub fn eval(&self, t: u64) -> f64 {
+        let v = self.mu * self.lambda1.powi(t as i32) + self.nu * self.lambda2.powi(t as i32);
+        v.clamp(0.0, 1.0)
+    }
+}
+
+impl MarkovChain3 {
+    /// Build a chain from an explicit row-stochastic transition matrix.
+    pub fn new(transition: Matrix3) -> Result<Self, MarkovError> {
+        for (i, row) in transition.m.iter().enumerate() {
+            for (j, &p) in row.iter().enumerate() {
+                if !(-STOCHASTIC_TOL..=1.0 + STOCHASTIC_TOL).contains(&p) || !p.is_finite() {
+                    return Err(MarkovError::ProbabilityOutOfRange {
+                        from: ProcState::from_index(i),
+                        to: ProcState::from_index(j),
+                        value: p,
+                    });
+                }
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(MarkovError::RowNotStochastic { from: ProcState::from_index(i), sum });
+            }
+        }
+        Ok(MarkovChain3 { transition })
+    }
+
+    /// Build a chain from the three "self-loop" probabilities, splitting the
+    /// remaining mass evenly between the two other states:
+    /// `P(x → y) = 0.5·(1 − P(x → x))` for `y ≠ x`.
+    ///
+    /// This is exactly the parameterization used in Section VII-A of the paper.
+    pub fn from_self_loop_probs(p_uu: f64, p_rr: f64, p_dd: f64) -> Result<Self, MarkovError> {
+        let row = |p: f64, idx: usize| -> [f64; 3] {
+            let other = 0.5 * (1.0 - p);
+            let mut r = [other; 3];
+            r[idx] = p;
+            r
+        };
+        MarkovChain3::new(Matrix3::new([row(p_uu, 0), row(p_rr, 1), row(p_dd, 2)]))
+    }
+
+    /// Sample a chain with the paper's random parameterization: each self-loop
+    /// probability is drawn uniformly in `[0.90, 0.99]` and the remaining mass
+    /// is split evenly between the two other states.
+    pub fn sample_paper_model<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let p_uu = rng.gen_range(0.90..=0.99);
+        let p_rr = rng.gen_range(0.90..=0.99);
+        let p_dd = rng.gen_range(0.90..=0.99);
+        MarkovChain3::from_self_loop_probs(p_uu, p_rr, p_dd)
+            .expect("paper-model parameters are always valid")
+    }
+
+    /// A chain for a processor that is always `UP` (never reclaimed, never down).
+    pub fn always_up() -> Self {
+        MarkovChain3::new(Matrix3::new([
+            [1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+        ]))
+        .expect("always-up matrix is stochastic")
+    }
+
+    /// A two-state chain (`UP`/`DOWN` only) embedded in the 3-state model:
+    /// the processor is never reclaimed. `p_ud` is the per-slot failure
+    /// probability and `p_du` the per-slot recovery probability.
+    pub fn two_state(p_ud: f64, p_du: f64) -> Result<Self, MarkovError> {
+        MarkovChain3::new(Matrix3::new([
+            [1.0 - p_ud, 0.0, p_ud],
+            [0.0, 0.0, 1.0],
+            [p_du, 0.0, 1.0 - p_du],
+        ]))
+    }
+
+    /// Transition probability `P(from → to)`.
+    #[inline]
+    pub fn prob(&self, from: ProcState, to: ProcState) -> f64 {
+        self.transition.m[from.index()][to.index()]
+    }
+
+    /// The full 3×3 transition matrix.
+    pub fn transition_matrix(&self) -> &Matrix3 {
+        &self.transition
+    }
+
+    /// The sub-stochastic 2×2 matrix `M_q` restricted to `{UP, RECLAIMED}`
+    /// (the paper deletes the `DOWN` row and column).
+    pub fn up_reclaimed_submatrix(&self) -> Matrix2 {
+        self.transition.minor(2, 2)
+    }
+
+    /// `P^(q)_{u →t→ u}`: probability of being `UP` at time `t` without having
+    /// been `DOWN` in between, starting `UP` at time 0. Computed exactly as
+    /// `(M_q^t)[0][0]`.
+    pub fn up_to_up_avoiding_down(&self, t: u64) -> f64 {
+        self.up_reclaimed_submatrix().pow(t).m[0][0]
+    }
+
+    /// Probability of not visiting `DOWN` during `t` transitions, starting `UP`:
+    /// the total mass remaining in `{UP, RECLAIMED}` after `t` steps of `M_q`.
+    /// This is the quantity `P^(P_q)_{ND}(t)` of Section V-B.
+    pub fn prob_no_down_within(&self, t: u64) -> f64 {
+        let p = self.up_reclaimed_submatrix().pow(t);
+        (p.m[0][0] + p.m[0][1]).clamp(0.0, 1.0)
+    }
+
+    /// Closed-form eigen-decomposition of `t ↦ P^(q)_{u →t→ u}`.
+    ///
+    /// Returns `None` when the `{UP, RECLAIMED}` sub-matrix has (numerically)
+    /// non-real or equal eigenvalues; callers should then fall back to
+    /// [`MarkovChain3::up_to_up_avoiding_down`].
+    pub fn up_up_series(&self) -> Option<UpUpSeries> {
+        let m = self.up_reclaimed_submatrix();
+        let (l1, l2) = m.eigenvalues()?;
+        if (l1 - l2).abs() < 1e-12 {
+            return None;
+        }
+        // M = λ1·P1 + λ2·P2 with P1 = (M − λ2 I)/(λ1 − λ2), P2 = (λ1 I − M)/(λ1 − λ2).
+        let mu = (m.m[0][0] - l2) / (l1 - l2);
+        let nu = (l1 - m.m[0][0]) / (l1 - l2);
+        Some(UpUpSeries { mu, nu, lambda1: l1, lambda2: l2 })
+    }
+
+    /// Dominant eigenvalue `λ₁` of the `{UP, RECLAIMED}` sub-matrix. It bounds
+    /// the geometric decay of `P_{u →t→ u}` and drives the series-truncation
+    /// length of the analytical approximations (Theorem 5.1).
+    pub fn dominant_up_eigenvalue(&self) -> f64 {
+        match self.up_reclaimed_submatrix().eigenvalues() {
+            Some((l1, _)) => l1.clamp(0.0, 1.0),
+            // Degenerate (complex) case — bound by the row sums.
+            None => {
+                let m = self.up_reclaimed_submatrix();
+                (m.m[0][0] + m.m[0][1]).max(m.m[1][0] + m.m[1][1]).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Per-slot probability of going `DOWN` from any non-failed state; zero iff
+    /// the processor can never fail while enrolled.
+    pub fn can_fail(&self) -> bool {
+        self.prob(ProcState::Up, ProcState::Down) > 0.0
+            || self.prob(ProcState::Reclaimed, ProcState::Down) > 0.0
+    }
+
+    /// Stationary distribution `(π_UP, π_RECLAIMED, π_DOWN)` computed by power
+    /// iteration (the paper's chains are recurrent and aperiodic).
+    pub fn stationary_distribution(&self) -> [f64; 3] {
+        let mut v = [1.0 / 3.0; 3];
+        for _ in 0..10_000 {
+            let next = self.transition.vec_mul(v);
+            let diff: f64 = v.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            if diff < 1e-14 {
+                break;
+            }
+        }
+        // Normalize against accumulated rounding error.
+        let s: f64 = v.iter().sum();
+        [v[0] / s, v[1] / s, v[2] / s]
+    }
+
+    /// Long-run fraction of time the processor is `UP`.
+    pub fn availability(&self) -> f64 {
+        self.stationary_distribution()[0]
+    }
+
+    /// Sample the state at `t + 1` given the state at `t`.
+    pub fn next_state<R: Rng + ?Sized>(&self, current: ProcState, rng: &mut R) -> ProcState {
+        let row = self.transition.m[current.index()];
+        let x: f64 = rng.gen();
+        if x < row[0] {
+            ProcState::Up
+        } else if x < row[0] + row[1] {
+            ProcState::Reclaimed
+        } else {
+            ProcState::Down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn from_self_loop_probs_matches_paper_rule() {
+        let c = MarkovChain3::from_self_loop_probs(0.9, 0.94, 0.98).unwrap();
+        assert!(approx(c.prob(ProcState::Up, ProcState::Up), 0.9, 1e-12));
+        assert!(approx(c.prob(ProcState::Up, ProcState::Reclaimed), 0.05, 1e-12));
+        assert!(approx(c.prob(ProcState::Up, ProcState::Down), 0.05, 1e-12));
+        assert!(approx(c.prob(ProcState::Reclaimed, ProcState::Up), 0.03, 1e-12));
+        assert!(approx(c.prob(ProcState::Down, ProcState::Down), 0.98, 1e-12));
+        assert!(c.transition_matrix().is_row_stochastic());
+    }
+
+    #[test]
+    fn invalid_matrices_rejected() {
+        let bad = Matrix3::new([[0.5, 0.4, 0.0], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8]]);
+        assert!(matches!(MarkovChain3::new(bad), Err(MarkovError::RowNotStochastic { .. })));
+        let neg = Matrix3::new([[1.2, -0.2, 0.0], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8]]);
+        assert!(matches!(
+            MarkovChain3::new(neg),
+            Err(MarkovError::ProbabilityOutOfRange { .. })
+        ));
+        assert!(MarkovChain3::from_self_loop_probs(1.5, 0.9, 0.9).is_err());
+    }
+
+    #[test]
+    fn always_up_never_leaves_up() {
+        let c = MarkovChain3::always_up();
+        let mut rng = rng_from_seed(1);
+        let mut s = ProcState::Up;
+        for _ in 0..100 {
+            s = c.next_state(s, &mut rng);
+            assert_eq!(s, ProcState::Up);
+        }
+        assert!(!c.can_fail());
+        assert!(approx(c.availability(), 1.0, 1e-9));
+        assert!(approx(c.up_to_up_avoiding_down(50), 1.0, 1e-12));
+        assert!(approx(c.prob_no_down_within(50), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn up_up_closed_form_matches_matrix_power() {
+        let c = MarkovChain3::from_self_loop_probs(0.93, 0.91, 0.97).unwrap();
+        let series = c.up_up_series().expect("distinct real eigenvalues");
+        for t in 0..200u64 {
+            let exact = c.up_to_up_avoiding_down(t);
+            let closed = series.eval(t);
+            assert!(
+                approx(exact, closed, 1e-9),
+                "t={t}: exact={exact} closed={closed}"
+            );
+        }
+        // t = 0 must give 1 (the processor is UP now).
+        assert!(approx(series.eval(0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn up_up_probability_decreases_with_horizon_bound() {
+        let c = MarkovChain3::from_self_loop_probs(0.95, 0.92, 0.9).unwrap();
+        // Not necessarily monotone slot-by-slot, but bounded by λ1^t.
+        let l1 = c.dominant_up_eigenvalue();
+        for t in 1..100u64 {
+            assert!(c.up_to_up_avoiding_down(t) <= l1.powi(t as i32) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn prob_no_down_is_monotone_nonincreasing() {
+        let c = MarkovChain3::from_self_loop_probs(0.9, 0.9, 0.9).unwrap();
+        let mut prev = 1.0;
+        for t in 0..200u64 {
+            let p = c.prob_no_down_within(t);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_is_fixed_point() {
+        let c = MarkovChain3::from_self_loop_probs(0.97, 0.91, 0.93).unwrap();
+        let pi = c.stationary_distribution();
+        let next = c.transition_matrix().vec_mul(pi);
+        for i in 0..3 {
+            assert!(approx(pi[i], next[i], 1e-8));
+        }
+        assert!(approx(pi.iter().sum::<f64>(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn empirical_transitions_match_probabilities() {
+        let c = MarkovChain3::from_self_loop_probs(0.92, 0.95, 0.9).unwrap();
+        let mut rng = rng_from_seed(99);
+        let mut counts = [[0u64; 3]; 3];
+        let mut s = ProcState::Up;
+        let n = 200_000;
+        for _ in 0..n {
+            let next = c.next_state(s, &mut rng);
+            counts[s.index()][next.index()] += 1;
+            s = next;
+        }
+        for i in 0..3 {
+            let row_total: u64 = counts[i].iter().sum();
+            if row_total < 1000 {
+                continue;
+            }
+            for j in 0..3 {
+                let emp = counts[i][j] as f64 / row_total as f64;
+                let theo = c.transition_matrix().m[i][j];
+                assert!(
+                    approx(emp, theo, 0.02),
+                    "transition {i}->{j}: empirical {emp} vs theoretical {theo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_state_chain_has_no_reclaimed() {
+        let c = MarkovChain3::two_state(0.05, 0.2).unwrap();
+        let mut rng = rng_from_seed(3);
+        let mut s = ProcState::Up;
+        for _ in 0..10_000 {
+            s = c.next_state(s, &mut rng);
+            assert_ne!(s, ProcState::Reclaimed);
+        }
+        assert!(c.can_fail());
+    }
+
+    #[test]
+    fn sample_paper_model_is_valid_and_biased_to_self_loops() {
+        let mut rng = rng_from_seed(5);
+        for _ in 0..100 {
+            let c = MarkovChain3::sample_paper_model(&mut rng);
+            assert!(c.transition_matrix().is_row_stochastic());
+            for s in ProcState::ALL {
+                let p = c.prob(s, s);
+                assert!((0.90..=0.99).contains(&p), "self-loop {p} outside [0.90,0.99]");
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The three-state processor availability model and per-processor state traces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// State of a processor during one time-slot.
+///
+/// The paper (Section III-B) uses a three-state model:
+///
+/// * [`ProcState::Up`] — the processor is available and may communicate or compute.
+/// * [`ProcState::Reclaimed`] — the processor has been reclaimed by its owner.
+///   Its memory content (program, task data, partial computation) is preserved,
+///   but it can make no progress until it is `Up` again.
+/// * [`ProcState::Down`] — the processor has crashed. It loses the application
+///   program, all task data and any partial computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcState {
+    /// Available: may receive data and compute.
+    Up,
+    /// Temporarily preempted by its owner; keeps its state.
+    Reclaimed,
+    /// Crashed; loses program, data, and ongoing computation.
+    Down,
+}
+
+impl ProcState {
+    /// All states, in the canonical order used for matrix indexing
+    /// (`Up` = 0, `Reclaimed` = 1, `Down` = 2).
+    pub const ALL: [ProcState; 3] = [ProcState::Up, ProcState::Reclaimed, ProcState::Down];
+
+    /// Canonical index of the state (`Up` = 0, `Reclaimed` = 1, `Down` = 2).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ProcState::Up => 0,
+            ProcState::Reclaimed => 1,
+            ProcState::Down => 2,
+        }
+    }
+
+    /// Inverse of [`ProcState::index`].
+    ///
+    /// # Panics
+    /// Panics if `idx >= 3`.
+    #[inline]
+    pub fn from_index(idx: usize) -> ProcState {
+        match idx {
+            0 => ProcState::Up,
+            1 => ProcState::Reclaimed,
+            2 => ProcState::Down,
+            _ => panic!("invalid processor state index {idx}"),
+        }
+    }
+
+    /// `true` if the processor is available for communication and computation.
+    #[inline]
+    pub fn is_up(self) -> bool {
+        matches!(self, ProcState::Up)
+    }
+
+    /// `true` if the processor is crashed.
+    #[inline]
+    pub fn is_down(self) -> bool {
+        matches!(self, ProcState::Down)
+    }
+
+    /// `true` if the processor is temporarily reclaimed.
+    #[inline]
+    pub fn is_reclaimed(self) -> bool {
+        matches!(self, ProcState::Reclaimed)
+    }
+
+    /// One-letter code used in textual traces: `U`, `R` or `D`.
+    pub fn code(self) -> char {
+        match self {
+            ProcState::Up => 'U',
+            ProcState::Reclaimed => 'R',
+            ProcState::Down => 'D',
+        }
+    }
+
+    /// Parse a one-letter code (`U`/`R`/`D`, case-insensitive).
+    pub fn from_code(c: char) -> Option<ProcState> {
+        match c.to_ascii_uppercase() {
+            'U' => Some(ProcState::Up),
+            'R' => Some(ProcState::Reclaimed),
+            'D' => Some(ProcState::Down),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// The availability vector `S_q` of one processor: its state at every time-slot
+/// starting from time-slot 0.
+///
+/// A trace is a plain, densely stored sequence of [`ProcState`]. Queries past the
+/// end of the trace are answered by the *last* recorded state, which makes finite
+/// traces usable as (eventually constant) infinite ones — handy for scripted
+/// test scenarios such as the paper's Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateTrace {
+    states: Vec<ProcState>,
+}
+
+impl StateTrace {
+    /// Create a trace from an explicit state sequence.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty: a trace must define at least time-slot 0.
+    pub fn new(states: Vec<ProcState>) -> Self {
+        assert!(!states.is_empty(), "a state trace cannot be empty");
+        StateTrace { states }
+    }
+
+    /// Create a trace that is constant over time.
+    pub fn constant(state: ProcState, len: usize) -> Self {
+        StateTrace::new(vec![state; len.max(1)])
+    }
+
+    /// Parse a trace from a string of one-letter codes, e.g. `"UURRDUU"`.
+    ///
+    /// Returns `None` if the string is empty or contains an invalid character.
+    pub fn parse(codes: &str) -> Option<Self> {
+        if codes.is_empty() {
+            return None;
+        }
+        let states: Option<Vec<_>> = codes.chars().map(ProcState::from_code).collect();
+        states.map(StateTrace::new)
+    }
+
+    /// State at time-slot `t`. Queries beyond the recorded horizon return the
+    /// last recorded state.
+    #[inline]
+    pub fn state_at(&self, t: u64) -> ProcState {
+        let idx = (t as usize).min(self.states.len() - 1);
+        self.states[idx]
+    }
+
+    /// Number of recorded time-slots.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the trace records a single time-slot only.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over the recorded states.
+    pub fn iter(&self) -> impl Iterator<Item = ProcState> + '_ {
+        self.states.iter().copied()
+    }
+
+    /// Raw access to the recorded states.
+    pub fn as_slice(&self) -> &[ProcState] {
+        &self.states
+    }
+
+    /// Append a state at the end of the trace.
+    pub fn push(&mut self, s: ProcState) {
+        self.states.push(s);
+    }
+
+    /// Render the trace as a string of one-letter codes.
+    pub fn to_code_string(&self) -> String {
+        self.states.iter().map(|s| s.code()).collect()
+    }
+
+    /// Number of time-slots in `[from, to)` during which the processor is `Up`.
+    pub fn up_slots(&self, from: u64, to: u64) -> u64 {
+        (from..to).filter(|&t| self.state_at(t).is_up()).count() as u64
+    }
+
+    /// `true` if the processor is never `Down` in `[from, to)`.
+    pub fn never_down(&self, from: u64, to: u64) -> bool {
+        (from..to).all(|t| !self.state_at(t).is_down())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_index_roundtrip() {
+        for s in ProcState::ALL {
+            assert_eq!(ProcState::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn state_from_invalid_index_panics() {
+        let _ = ProcState::from_index(3);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(ProcState::Up.is_up());
+        assert!(!ProcState::Up.is_down());
+        assert!(ProcState::Down.is_down());
+        assert!(ProcState::Reclaimed.is_reclaimed());
+        assert!(!ProcState::Reclaimed.is_up());
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for s in ProcState::ALL {
+            assert_eq!(ProcState::from_code(s.code()), Some(s));
+            assert_eq!(ProcState::from_code(s.code().to_ascii_lowercase()), Some(s));
+        }
+        assert_eq!(ProcState::from_code('x'), None);
+    }
+
+    #[test]
+    fn trace_parse_and_query() {
+        let t = StateTrace::parse("UURDU").unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.state_at(0), ProcState::Up);
+        assert_eq!(t.state_at(2), ProcState::Reclaimed);
+        assert_eq!(t.state_at(3), ProcState::Down);
+        // beyond the horizon: last state persists
+        assert_eq!(t.state_at(100), ProcState::Up);
+        assert_eq!(t.to_code_string(), "UURDU");
+    }
+
+    #[test]
+    fn trace_parse_rejects_bad_input() {
+        assert!(StateTrace::parse("").is_none());
+        assert!(StateTrace::parse("UUX").is_none());
+    }
+
+    #[test]
+    fn trace_up_slots_and_never_down() {
+        let t = StateTrace::parse("URUDU").unwrap();
+        assert_eq!(t.up_slots(0, 5), 3);
+        assert_eq!(t.up_slots(0, 3), 2);
+        assert!(t.never_down(0, 3));
+        assert!(!t.never_down(0, 4));
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = StateTrace::constant(ProcState::Up, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.state_at(10), ProcState::Up);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trace_panics() {
+        let _ = StateTrace::new(vec![]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Availability trace generation and replay.
+//!
+//! The simulator needs to answer "in which state is processor `q` at time-slot
+//! `t`?" for arbitrary (monotonically explored) times. Two implementations of
+//! the [`AvailabilityModel`] trait are provided:
+//!
+//! * [`MarkovAvailability`] — realizes each processor's [`MarkovChain3`] lazily,
+//!   extending its trace on demand. The realization is fully determined by the
+//!   seed, so simulation runs are reproducible.
+//! * [`ScriptedAvailability`] — replays explicit, hand-written traces. Used for
+//!   unit tests and to reproduce the worked example of Figure 1.
+//!
+//! [`TraceSet`] is a plain container of pre-generated traces (one per
+//! processor) useful for analysis and for feeding semi-Markov realizations to
+//! the simulator.
+
+use crate::markov::MarkovChain3;
+use crate::rng::sub_rng;
+use crate::state::{ProcState, StateTrace};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Source of processor availability information for the simulator.
+///
+/// Time is explored monotonically by the simulator but implementations must
+/// answer queries for any `t` (lazily generated models cache their history).
+pub trait AvailabilityModel {
+    /// Number of processors described by this model.
+    fn num_procs(&self) -> usize;
+
+    /// State of processor `q` at time-slot `t`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `q >= self.num_procs()`.
+    fn state(&mut self, q: usize, t: u64) -> ProcState;
+
+    /// `true` if every processor in `procs` is `UP` at time-slot `t`.
+    fn all_up(&mut self, procs: &[usize], t: u64) -> bool {
+        procs.iter().all(|&q| self.state(q, t).is_up())
+    }
+}
+
+/// Lazily realized Markov availability: one [`MarkovChain3`] and one RNG stream
+/// per processor.
+#[derive(Debug, Clone)]
+pub struct MarkovAvailability {
+    chains: Vec<MarkovChain3>,
+    traces: Vec<StateTrace>,
+    rngs: Vec<SmallRng>,
+}
+
+impl MarkovAvailability {
+    /// Create a model from per-processor chains.
+    ///
+    /// Each processor starts in the `UP` state at time-slot 0 unless
+    /// `random_start` is set, in which case the initial state is drawn from the
+    /// chain's stationary distribution.
+    pub fn new(chains: Vec<MarkovChain3>, seed: u64, random_start: bool) -> Self {
+        let mut traces = Vec::with_capacity(chains.len());
+        let mut rngs = Vec::with_capacity(chains.len());
+        for (q, chain) in chains.iter().enumerate() {
+            let mut rng = sub_rng(seed, q as u64);
+            let initial = if random_start {
+                let pi = chain.stationary_distribution();
+                let x: f64 = rng.gen();
+                if x < pi[0] {
+                    ProcState::Up
+                } else if x < pi[0] + pi[1] {
+                    ProcState::Reclaimed
+                } else {
+                    ProcState::Down
+                }
+            } else {
+                ProcState::Up
+            };
+            traces.push(StateTrace::new(vec![initial]));
+            rngs.push(rng);
+        }
+        MarkovAvailability { chains, traces, rngs }
+    }
+
+    /// The chain governing processor `q`.
+    pub fn chain(&self, q: usize) -> &MarkovChain3 {
+        &self.chains[q]
+    }
+
+    /// All per-processor chains.
+    pub fn chains(&self) -> &[MarkovChain3] {
+        &self.chains
+    }
+
+    /// Materialize the first `horizon` time-slots of every processor into a
+    /// [`TraceSet`].
+    pub fn materialize(&mut self, horizon: u64) -> TraceSet {
+        for q in 0..self.num_procs() {
+            let _ = self.state(q, horizon.saturating_sub(1));
+        }
+        TraceSet::new(
+            self.traces
+                .iter()
+                .map(|t| {
+                    let codes: Vec<ProcState> =
+                        (0..horizon).map(|s| t.state_at(s)).collect();
+                    StateTrace::new(if codes.is_empty() {
+                        vec![t.state_at(0)]
+                    } else {
+                        codes
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    fn extend_to(&mut self, q: usize, t: u64) {
+        let trace = &mut self.traces[q];
+        while (trace.len() as u64) <= t {
+            let last = trace.state_at(trace.len() as u64 - 1);
+            let next = self.chains[q].next_state(last, &mut self.rngs[q]);
+            trace.push(next);
+        }
+    }
+}
+
+impl AvailabilityModel for MarkovAvailability {
+    fn num_procs(&self) -> usize {
+        self.chains.len()
+    }
+
+    fn state(&mut self, q: usize, t: u64) -> ProcState {
+        if (self.traces[q].len() as u64) <= t {
+            self.extend_to(q, t);
+        }
+        self.traces[q].state_at(t)
+    }
+}
+
+/// Replays explicit traces; deterministic and side-effect free.
+#[derive(Debug, Clone)]
+pub struct ScriptedAvailability {
+    traces: Vec<StateTrace>,
+}
+
+impl ScriptedAvailability {
+    /// Create a scripted model from explicit per-processor traces.
+    pub fn new(traces: Vec<StateTrace>) -> Self {
+        assert!(!traces.is_empty(), "scripted availability needs at least one processor");
+        ScriptedAvailability { traces }
+    }
+
+    /// Create a scripted model from strings of `U`/`R`/`D` codes.
+    ///
+    /// # Panics
+    /// Panics if any string is empty or contains an invalid code.
+    pub fn from_codes(codes: &[&str]) -> Self {
+        ScriptedAvailability::new(
+            codes
+                .iter()
+                .map(|c| StateTrace::parse(c).expect("invalid availability code string"))
+                .collect(),
+        )
+    }
+
+    /// Access the underlying traces.
+    pub fn traces(&self) -> &[StateTrace] {
+        &self.traces
+    }
+}
+
+impl AvailabilityModel for ScriptedAvailability {
+    fn num_procs(&self) -> usize {
+        self.traces.len()
+    }
+
+    fn state(&mut self, q: usize, t: u64) -> ProcState {
+        self.traces[q].state_at(t)
+    }
+}
+
+/// A plain collection of per-processor traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSet {
+    traces: Vec<StateTrace>,
+}
+
+impl TraceSet {
+    /// Wrap a vector of traces.
+    pub fn new(traces: Vec<StateTrace>) -> Self {
+        TraceSet { traces }
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Trace of processor `q`.
+    pub fn trace(&self, q: usize) -> &StateTrace {
+        &self.traces[q]
+    }
+
+    /// Iterate over all traces.
+    pub fn iter(&self) -> impl Iterator<Item = &StateTrace> {
+        self.traces.iter()
+    }
+
+    /// Consume the set and return the traces.
+    pub fn into_traces(self) -> Vec<StateTrace> {
+        self.traces
+    }
+}
+
+impl AvailabilityModel for TraceSet {
+    fn num_procs(&self) -> usize {
+        self.traces.len()
+    }
+
+    fn state(&mut self, q: usize, t: u64) -> ProcState {
+        self.traces[q].state_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_chains(n: usize, seed: u64) -> Vec<MarkovChain3> {
+        let mut rng = sub_rng(seed, 1000);
+        (0..n).map(|_| MarkovChain3::sample_paper_model(&mut rng)).collect()
+    }
+
+    #[test]
+    fn markov_availability_is_reproducible() {
+        let chains = paper_chains(5, 17);
+        let mut a = MarkovAvailability::new(chains.clone(), 42, false);
+        let mut b = MarkovAvailability::new(chains, 42, false);
+        for t in 0..500 {
+            for q in 0..5 {
+                assert_eq!(a.state(q, t), b.state(q, t));
+            }
+        }
+    }
+
+    #[test]
+    fn markov_availability_different_seeds_differ() {
+        let chains = paper_chains(5, 17);
+        let mut a = MarkovAvailability::new(chains.clone(), 1, false);
+        let mut b = MarkovAvailability::new(chains, 2, false);
+        let same = (0..500)
+            .flat_map(|t| (0..5).map(move |q| (q, t)))
+            .filter(|&(q, t)| {
+                // compare pointwise; count equal slots
+                q < 5 && t < 500
+            })
+            .filter(|&(q, t)| a.state(q, t) == b.state(q, t))
+            .count();
+        assert!(same < 5 * 500, "two different seeds produced identical realizations");
+    }
+
+    #[test]
+    fn markov_availability_starts_up_by_default() {
+        let chains = paper_chains(8, 3);
+        let mut a = MarkovAvailability::new(chains, 7, false);
+        for q in 0..8 {
+            assert_eq!(a.state(q, 0), ProcState::Up);
+        }
+    }
+
+    #[test]
+    fn markov_availability_out_of_order_queries_consistent() {
+        let chains = paper_chains(3, 11);
+        let mut a = MarkovAvailability::new(chains.clone(), 5, false);
+        let late = a.state(1, 300);
+        let early = a.state(1, 10);
+        let mut b = MarkovAvailability::new(chains, 5, false);
+        // query in the opposite order
+        let early2 = b.state(1, 10);
+        let late2 = b.state(1, 300);
+        assert_eq!(early, early2);
+        assert_eq!(late, late2);
+    }
+
+    #[test]
+    fn scripted_availability_replays_exactly() {
+        let mut s = ScriptedAvailability::from_codes(&["UURD", "RRUU"]);
+        assert_eq!(s.num_procs(), 2);
+        assert_eq!(s.state(0, 0), ProcState::Up);
+        assert_eq!(s.state(0, 2), ProcState::Reclaimed);
+        assert_eq!(s.state(0, 3), ProcState::Down);
+        assert_eq!(s.state(1, 0), ProcState::Reclaimed);
+        assert_eq!(s.state(1, 3), ProcState::Up);
+        // past the horizon the last state persists
+        assert_eq!(s.state(0, 99), ProcState::Down);
+        assert!(!s.all_up(&[0, 1], 0));
+        assert!(s.all_up(&[0, 1], 10).eq(&false));
+    }
+
+    #[test]
+    fn all_up_helper() {
+        let mut s = ScriptedAvailability::from_codes(&["UU", "UU", "UR"]);
+        assert!(s.all_up(&[0, 1], 0));
+        assert!(s.all_up(&[0, 1, 2], 0));
+        assert!(!s.all_up(&[0, 1, 2], 1));
+        assert!(s.all_up(&[], 1));
+    }
+
+    #[test]
+    fn materialize_matches_lazy_queries() {
+        let chains = paper_chains(4, 23);
+        let mut a = MarkovAvailability::new(chains, 99, true);
+        let expected: Vec<Vec<ProcState>> =
+            (0..4).map(|q| (0..100).map(|t| a.state(q, t)).collect()).collect();
+        let set = a.materialize(100);
+        assert_eq!(set.num_procs(), 4);
+        for q in 0..4 {
+            for t in 0..100u64 {
+                assert_eq!(set.trace(q).state_at(t), expected[q][t as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Bench target for **Figure 2** (%diff vs wmin, m = 10): measures single
+//! instances of the Y-IE and IE heuristics across the `wmin` sweep — the
+//! quantity plotted in the figure is the relative gap between exactly these
+//! runs. The full sweep is produced by
+//! `cargo run --release -p dg-experiments --bin figure2`.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_bench::{bench_scenario, run_one};
+
+fn figure2_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_wmin_sweep");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for wmin in [1u64, 4] {
+        let scenario = bench_scenario(10, 10, wmin, 2, 1000 + wmin);
+        for heuristic in ["IE", "Y-IE"] {
+            group.bench_with_input(
+                BenchmarkId::new(heuristic, wmin),
+                &(heuristic, wmin),
+                |b, (h, _)| {
+                    b.iter(|| run_one(&scenario, h, 11, 40_000));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure2_sweep);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation bench for the per-decision cost of the Section VI heuristics:
+//! how long one `Scheduler::decide` call takes at the paper's platform size
+//! (p = 20) for m = 5 and m = 10 tasks, for a passive heuristic, a proactive
+//! heuristic and the RANDOM baseline.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_availability::ProcState;
+use dg_bench::bench_scenario;
+use dg_heuristics::HeuristicSpec;
+use dg_sim::view::{SimView, WorkerView};
+use dg_sim::worker_state::WorkerDynamicState;
+
+fn decision_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_decision");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(30);
+    for m in [5usize, 10] {
+        let scenario = bench_scenario(m, 10, 2, 10, 7);
+        let workers: Vec<WorkerView> = (0..scenario.platform.num_workers())
+            .map(|_| WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() })
+            .collect();
+        for name in ["RANDOM", "IE", "IAY", "Y-IE", "E-IAY"] {
+            group.bench_with_input(BenchmarkId::new(name, m), &name, |b, name| {
+                let mut scheduler = HeuristicSpec::parse(name).unwrap().build(3, 1e-7);
+                b.iter(|| {
+                    let view = SimView {
+                        time: 0,
+                        iteration: 0,
+                        completed_iterations: 0,
+                        iteration_started_at: 0,
+                        workers: &workers,
+                        platform: &scenario.platform,
+                        application: &scenario.application,
+                        master: &scenario.master,
+                        current: None,
+                    };
+                    scheduler.decide(&view)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decision_cost);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Bench target for the Section IV off-line problem (Theorem 4.1): exact
+//! exponential solvers vs polynomial greedy heuristics on random availability
+//! matrices, and the cost of the ENCD → OFF-LINE-COUPLED reductions.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_availability::rng::rng_from_seed;
+use dg_offline::{
+    greedy_mu1, greedy_mu_unbounded, solve_mu1_exact, solve_mu_unbounded_exact, BipartiteGraph,
+    EncdInstance, OfflineInstance,
+};
+use rand::Rng;
+
+fn random_instance(p: usize, n: usize, density: f64, w: u64, m: usize, seed: u64) -> OfflineInstance {
+    let mut rng = rng_from_seed(seed);
+    let up = (0..p).map(|_| (0..n).map(|_| rng.gen_bool(density)).collect()).collect();
+    OfflineInstance::new(up, w, m)
+}
+
+fn solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_solvers");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    for &p in &[8usize, 12, 16] {
+        let instance = random_instance(p, 40, 0.7, 4, p / 2, 7 + p as u64);
+        group.bench_with_input(BenchmarkId::new("exact_mu1", p), &instance, |b, inst| {
+            b.iter(|| solve_mu1_exact(inst));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_mu1", p), &instance, |b, inst| {
+            b.iter(|| greedy_mu1(inst));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_mu_inf", p), &instance, |b, inst| {
+            b.iter(|| solve_mu_unbounded_exact(inst));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_mu_inf", p), &instance, |b, inst| {
+            b.iter(|| greedy_mu_unbounded(inst));
+        });
+    }
+    group.finish();
+}
+
+fn encd_reduction(c: &mut Criterion) {
+    let mut rng = rng_from_seed(3);
+    let adj: Vec<Vec<bool>> =
+        (0..10).map(|_| (0..10).map(|_| rng.gen_bool(0.6)).collect()).collect();
+    let encd = EncdInstance::new(BipartiteGraph::new(adj), 4, 3);
+    let mut group = c.benchmark_group("offline_encd");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("encd_exhaustive", |b| b.iter(|| encd.has_biclique()));
+    group.bench_function("reduction_mu1_then_solve", |b| {
+        b.iter(|| solve_mu1_exact(&encd.to_offline_mu1()));
+    });
+    group.bench_function("reduction_mu_inf_then_solve", |b| {
+        b.iter(|| solve_mu_unbounded_exact(&encd.to_offline_mu_unbounded()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, solvers, encd_reduction);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench target for **Table I** (m = 5): a representative slice of the
+//! campaign — each of the paper's headline heuristics runs one trial of one
+//! paper-style scenario. The full table is produced by
+//! `cargo run --release -p dg-experiments --bin table1`.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_bench::{bench_scenario, run_one};
+
+fn table1_slice(c: &mut Criterion) {
+    let scenario = bench_scenario(5, 10, 2, 3, 42);
+    let mut group = c.benchmark_group("table1_m5_slice");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for heuristic in ["RANDOM", "IE", "IAY", "Y-IE", "P-IE", "E-IAY"] {
+        group.bench_with_input(BenchmarkId::from_parameter(heuristic), heuristic, |b, h| {
+            b.iter(|| run_one(&scenario, h, 7, 50_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_slice);
+criterion_main!(benches);

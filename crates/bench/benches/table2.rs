@@ -1,0 +1,24 @@
+//! Bench target for **Table II** (m = 10): a representative slice of the
+//! campaign with the heuristics the paper reports for m = 10. The full table
+//! is produced by `cargo run --release -p dg-experiments --bin table2`.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_bench::{bench_scenario, run_one};
+
+fn table2_slice(c: &mut Criterion) {
+    let scenario = bench_scenario(10, 10, 1, 3, 99);
+    let mut group = c.benchmark_group("table2_m10_slice");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for heuristic in ["IE", "IAY", "IY", "Y-IE", "P-IE", "E-IAY", "E-IY", "E-IP"] {
+        group.bench_with_input(BenchmarkId::from_parameter(heuristic), heuristic, |b, h| {
+            b.iter(|| run_one(&scenario, h, 3, 50_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_slice);
+criterion_main!(benches);

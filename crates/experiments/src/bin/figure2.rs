@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Figure 2**: `%diff` (vs the reference IE) as a
+//! function of `wmin` for `m = 10` tasks, for the eight heuristics reported in
+//! Table II (E-IAY, E-IP, E-IY, IAY, IE, IY, P-IE, Y-IE).
+//!
+//! ```text
+//! cargo run --release -p dg-experiments --bin figure2 -- [--scenarios N] [--trials N] [--full]
+//! ```
+
+use dg_experiments::campaign::run_campaign;
+use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::figures::Figure;
+use dg_heuristics::HeuristicSpec;
+
+/// The eight heuristics plotted in the paper's Figure 2.
+const FIGURE2_HEURISTICS: [&str; 8] =
+    ["E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"];
+
+fn main() {
+    let opts = match CliOptions::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let heuristics: Vec<HeuristicSpec> = FIGURE2_HEURISTICS
+        .iter()
+        .map(|n| HeuristicSpec::parse(n).expect("figure heuristic name"))
+        .collect();
+    let config = opts.campaign().with_m(10).with_heuristics(heuristics);
+    eprintln!(
+        "Figure 2 campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {})",
+        config.points().len(),
+        config.scenarios_per_point,
+        config.trials_per_scenario,
+        config.heuristics.len(),
+        config.total_runs(),
+        config.max_slots,
+    );
+    let results = run_campaign(&config, progress_reporter(opts.quiet));
+    let names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
+    let figure = Figure::compute(&results, 10, "IE", &names);
+    println!("{}", figure.render());
+    println!("CSV:\n{}", figure.to_csv());
+}

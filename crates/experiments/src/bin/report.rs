@@ -1,0 +1,59 @@
+//! Runs the whole evaluation campaign once (both `m = 5` and `m = 10`) and
+//! prints every paper artifact produced from it: Table I, Table II and the
+//! Figure 2 series. This is the binary used to populate `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p dg-experiments --bin report -- [--scenarios N] [--trials N] [--full]
+//! ```
+
+use dg_experiments::campaign::run_campaign;
+use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::figures::Figure;
+use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
+
+const FIGURE2_HEURISTICS: [&str; 8] =
+    ["E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"];
+
+fn main() {
+    let opts = match CliOptions::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = opts.campaign();
+    eprintln!(
+        "Full campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {})",
+        config.points().len(),
+        config.scenarios_per_point,
+        config.trials_per_scenario,
+        config.heuristics.len(),
+        config.total_runs(),
+        config.max_slots,
+    );
+    let start = std::time::Instant::now();
+    let results = run_campaign(&config, progress_reporter(opts.quiet));
+    eprintln!("campaign finished in {:.1} s", start.elapsed().as_secs_f64());
+
+    let names = results.heuristic_names();
+
+    let m5: Vec<_> = results.for_m(5);
+    let table1 = table_comparison(&m5, "IE", &names);
+    println!("{}", render_table("TABLE I. RESULTS WITH m = 5 TASKS.", &table1));
+
+    let m10: Vec<_> = results.for_m(10);
+    let table2 = table_comparison(&m10, "IE", &names);
+    println!(
+        "{}",
+        render_table(
+            "TABLE II. RESULTS WITH m = 10 TASKS (heuristics with %diff <= 50%).",
+            &filter_by_diff(&table2, 50.0)
+        )
+    );
+    println!("{}", render_table("All heuristics, m = 10:", &table2));
+
+    let figure_names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
+    let figure = Figure::compute(&results, 10, "IE", &figure_names);
+    println!("{}", figure.render());
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's **Table I**: comparison of all 17 heuristics
+//! against the reference IE for `m = 5` tasks per iteration.
+//!
+//! ```text
+//! cargo run --release -p dg-experiments --bin table1 -- [--scenarios N] [--trials N] [--full]
+//! ```
+
+use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::campaign::run_campaign;
+use dg_experiments::tables::{render_table, table_comparison};
+
+fn main() {
+    let opts = match CliOptions::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = opts.campaign().with_m(5);
+    eprintln!(
+        "Table I campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {})",
+        config.points().len(),
+        config.scenarios_per_point,
+        config.trials_per_scenario,
+        config.heuristics.len(),
+        config.total_runs(),
+        config.max_slots,
+    );
+    let results = run_campaign(&config, progress_reporter(opts.quiet));
+    let subset: Vec<_> = results.results.iter().collect();
+    let comparison = table_comparison(&subset, "IE", &results.heuristic_names());
+    println!("{}", render_table("TABLE I. RESULTS WITH m = 5 TASKS.", &comparison));
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's **Table II**: comparison for `m = 10` tasks per
+//! iteration, reporting (like the paper) only the heuristics whose `%diff`
+//! stays below +50 % — plus the full table for completeness.
+//!
+//! ```text
+//! cargo run --release -p dg-experiments --bin table2 -- [--scenarios N] [--trials N] [--full]
+//! ```
+
+use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::campaign::run_campaign;
+use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
+
+fn main() {
+    let opts = match CliOptions::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = opts.campaign().with_m(10);
+    eprintln!(
+        "Table II campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {})",
+        config.points().len(),
+        config.scenarios_per_point,
+        config.trials_per_scenario,
+        config.heuristics.len(),
+        config.total_runs(),
+        config.max_slots,
+    );
+    let results = run_campaign(&config, progress_reporter(opts.quiet));
+    let subset: Vec<_> = results.results.iter().collect();
+    let comparison = table_comparison(&subset, "IE", &results.heuristic_names());
+    println!(
+        "{}",
+        render_table(
+            "TABLE II. RESULTS WITH m = 10 TASKS (heuristics with %diff <= 50%).",
+            &filter_by_diff(&comparison, 50.0)
+        )
+    );
+    println!("{}", render_table("All heuristics, m = 10:", &comparison));
+}

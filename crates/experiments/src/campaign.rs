@@ -1,0 +1,309 @@
+//! Full factorial experiment campaigns over the paper's experiment space.
+
+use crate::runner::{run_instance, InstanceSpec};
+use dg_availability::rng::derive_seed;
+use dg_heuristics::HeuristicSpec;
+use dg_platform::{Scenario, ScenarioParams};
+use dg_sim::SimOutcome;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of an experiment campaign.
+///
+/// The paper's full campaign uses `m ∈ {5, 10}`, `ncom ∈ {5, 10, 20}`,
+/// `wmin ∈ {1..10}`, 10 scenarios per point, 10 trials per scenario and a
+/// 10⁶-slot cap — 6,000 instances per heuristic. [`CampaignConfig::paper_full`]
+/// builds that configuration; [`CampaignConfig::reduced`] scales it down for
+/// laptop-class runs while keeping the factorial structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Values of `m` (tasks per iteration) to sweep.
+    pub m_values: Vec<usize>,
+    /// Values of `ncom` (master communication bound) to sweep.
+    pub ncom_values: Vec<usize>,
+    /// Values of `wmin` (difficulty parameter) to sweep.
+    pub wmin_values: Vec<u64>,
+    /// Number of workers `p` in every platform.
+    pub num_workers: usize,
+    /// Number of iterations the application must complete.
+    pub iterations: u64,
+    /// Random scenarios generated per `(m, ncom, wmin)` point.
+    pub scenarios_per_point: usize,
+    /// Availability realizations (trials) per scenario.
+    pub trials_per_scenario: usize,
+    /// Slot cap after which a run is declared failed.
+    pub max_slots: u64,
+    /// Heuristics to evaluate.
+    pub heuristics: Vec<HeuristicSpec>,
+    /// Master seed of the whole campaign.
+    pub base_seed: u64,
+    /// Precision `ε` of the Section V estimates.
+    pub epsilon: f64,
+    /// Worker threads to use (1 = sequential).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// The paper's full-scale campaign (6,000 instances per heuristic).
+    pub fn paper_full() -> Self {
+        CampaignConfig {
+            m_values: vec![5, 10],
+            ncom_values: vec![5, 10, 20],
+            wmin_values: (1..=10).collect(),
+            num_workers: 20,
+            iterations: 10,
+            scenarios_per_point: 10,
+            trials_per_scenario: 10,
+            max_slots: 1_000_000,
+            heuristics: HeuristicSpec::all(),
+            base_seed: 20130520, // HCW 2013 workshop date
+            epsilon: dg_analysis::DEFAULT_EPSILON,
+            threads: 1,
+        }
+    }
+
+    /// A scaled-down campaign preserving the factorial structure: fewer
+    /// scenarios/trials per point and a smaller slot cap.
+    pub fn reduced(scenarios_per_point: usize, trials_per_scenario: usize, max_slots: u64) -> Self {
+        CampaignConfig {
+            scenarios_per_point,
+            trials_per_scenario,
+            max_slots,
+            ..CampaignConfig::paper_full()
+        }
+    }
+
+    /// A minimal smoke-test campaign used by tests and criterion benches.
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            m_values: vec![5],
+            ncom_values: vec![10],
+            wmin_values: vec![1],
+            num_workers: 10,
+            iterations: 2,
+            scenarios_per_point: 1,
+            trials_per_scenario: 1,
+            max_slots: 20_000,
+            heuristics: vec![
+                HeuristicSpec::parse("IE").unwrap(),
+                HeuristicSpec::parse("RANDOM").unwrap(),
+            ],
+            base_seed: 7,
+            epsilon: dg_analysis::DEFAULT_EPSILON,
+            threads: 1,
+        }
+    }
+
+    /// Restrict the campaign to one value of `m` (used by the Table I / II
+    /// binaries, which report `m = 5` and `m = 10` respectively).
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m_values = vec![m];
+        self
+    }
+
+    /// Replace the heuristic list.
+    pub fn with_heuristics(mut self, heuristics: Vec<HeuristicSpec>) -> Self {
+        self.heuristics = heuristics;
+        self
+    }
+
+    /// The experiment points `(m, ncom, wmin)` of the campaign.
+    pub fn points(&self) -> Vec<ScenarioParams> {
+        let mut points = Vec::new();
+        for &m in &self.m_values {
+            for &ncom in &self.ncom_values {
+                for &wmin in &self.wmin_values {
+                    points.push(ScenarioParams {
+                        num_workers: self.num_workers,
+                        tasks_per_iteration: m,
+                        ncom,
+                        wmin,
+                        iterations: self.iterations,
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    /// Total number of simulation runs the campaign will perform.
+    pub fn total_runs(&self) -> usize {
+        self.points().len()
+            * self.scenarios_per_point
+            * self.trials_per_scenario
+            * self.heuristics.len()
+    }
+}
+
+/// The outcome of one `(point, scenario, trial, heuristic)` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceResult {
+    /// Experiment point the instance belongs to.
+    pub params: ScenarioParams,
+    /// Scenario index within the point.
+    pub scenario_index: usize,
+    /// Trial index within the scenario.
+    pub trial_index: usize,
+    /// Paper name of the heuristic (`"Y-IE"`, `"RANDOM"`, …).
+    pub heuristic: String,
+    /// Simulation outcome.
+    pub outcome: SimOutcome,
+}
+
+/// All results of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResults {
+    /// The configuration that produced the results.
+    pub config: CampaignConfig,
+    /// One entry per run.
+    pub results: Vec<InstanceResult>,
+}
+
+impl CampaignResults {
+    /// Results restricted to experiment points with `m` tasks per iteration.
+    pub fn for_m(&self, m: usize) -> Vec<&InstanceResult> {
+        self.results.iter().filter(|r| r.params.tasks_per_iteration == m).collect()
+    }
+
+    /// Results restricted to a given `wmin`.
+    pub fn for_wmin(&self, wmin: u64) -> Vec<&InstanceResult> {
+        self.results.iter().filter(|r| r.params.wmin == wmin).collect()
+    }
+
+    /// Names of the heuristics present in the results, in registry order.
+    pub fn heuristic_names(&self) -> Vec<String> {
+        self.config.heuristics.iter().map(|h| h.name()).collect()
+    }
+}
+
+/// Seed used to generate scenario `scenario_index` of `point_index`.
+fn scenario_seed(base_seed: u64, point_index: usize, scenario_index: usize) -> u64 {
+    derive_seed(base_seed, (point_index as u64) << 20 | scenario_index as u64)
+}
+
+/// Run a campaign. Jobs (one per scenario) are distributed over
+/// `config.threads` worker threads; progress is reported through `on_progress`
+/// with `(completed_runs, total_runs)` after every finished run.
+pub fn run_campaign<F>(config: &CampaignConfig, on_progress: F) -> CampaignResults
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let points = config.points();
+    // One job per (point, scenario): the scenario is generated once and all its
+    // trials and heuristics run on the same thread.
+    let jobs: Vec<(usize, usize)> = (0..points.len())
+        .flat_map(|p| (0..config.scenarios_per_point).map(move |s| (p, s)))
+        .collect();
+    let total_runs = config.total_runs();
+    let next_job = AtomicUsize::new(0);
+    let done_runs = AtomicUsize::new(0);
+    let results: Mutex<Vec<InstanceResult>> = Mutex::new(Vec::with_capacity(total_runs));
+
+    let num_threads = config.threads.max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..num_threads {
+            scope.spawn(|_| loop {
+                let job = next_job.fetch_add(1, Ordering::Relaxed);
+                if job >= jobs.len() {
+                    break;
+                }
+                let (point_index, scenario_index) = jobs[job];
+                let params = points[point_index];
+                let seed = scenario_seed(config.base_seed, point_index, scenario_index);
+                let scenario = Scenario::generate(params, seed);
+                let mut local = Vec::new();
+                for trial_index in 0..config.trials_per_scenario {
+                    for heuristic in &config.heuristics {
+                        let spec = InstanceSpec { scenario_index, trial_index, heuristic: *heuristic };
+                        let outcome = run_instance(
+                            &scenario,
+                            &spec,
+                            config.base_seed,
+                            config.max_slots,
+                            config.epsilon,
+                        );
+                        local.push(InstanceResult {
+                            params,
+                            scenario_index,
+                            trial_index,
+                            heuristic: heuristic.name(),
+                            outcome,
+                        });
+                        let done = done_runs.fetch_add(1, Ordering::Relaxed) + 1;
+                        on_progress(done, total_runs);
+                    }
+                }
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("campaign worker thread panicked");
+
+    CampaignResults { config: config.clone(), results: results.into_inner() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_full_config_matches_paper_scale() {
+        let c = CampaignConfig::paper_full();
+        assert_eq!(c.points().len(), 60);
+        // 6,000 instances per heuristic × 17 heuristics.
+        assert_eq!(c.total_runs(), 6_000 * 17);
+        assert_eq!(c.heuristics.len(), 17);
+        assert_eq!(c.max_slots, 1_000_000);
+    }
+
+    #[test]
+    fn reduced_config_keeps_structure() {
+        let c = CampaignConfig::reduced(2, 3, 50_000);
+        assert_eq!(c.points().len(), 60);
+        assert_eq!(c.total_runs(), 60 * 2 * 3 * 17);
+        assert_eq!(c.with_m(5).points().len(), 30);
+    }
+
+    #[test]
+    fn smoke_campaign_runs_and_is_deterministic() {
+        let config = CampaignConfig::smoke();
+        let a = run_campaign(&config, |_, _| {});
+        let b = run_campaign(&config, |_, _| {});
+        assert_eq!(a.results.len(), config.total_runs());
+        assert_eq!(a, b);
+        // Both heuristics ran on every (scenario, trial).
+        assert_eq!(a.heuristic_names(), vec!["IE".to_string(), "RANDOM".to_string()]);
+        let ie_runs = a.results.iter().filter(|r| r.heuristic == "IE").count();
+        assert_eq!(ie_runs, config.total_runs() / 2);
+    }
+
+    #[test]
+    fn multithreaded_campaign_matches_sequential() {
+        let mut config = CampaignConfig::smoke();
+        config.scenarios_per_point = 2;
+        let sequential = run_campaign(&config, |_, _| {});
+        config.threads = 4;
+        let parallel = run_campaign(&config, |_, _| {});
+        // Same multiset of results regardless of thread interleaving.
+        let key = |r: &InstanceResult| {
+            (r.params.wmin, r.scenario_index, r.trial_index, r.heuristic.clone())
+        };
+        let mut s: Vec<_> = sequential.results.iter().map(|r| (key(r), r.outcome.clone())).collect();
+        let mut p: Vec<_> = parallel.results.iter().map(|r| (key(r), r.outcome.clone())).collect();
+        s.sort_by(|a, b| a.0.cmp(&b.0));
+        p.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn progress_callback_reaches_total() {
+        let config = CampaignConfig::smoke();
+        let max_seen = AtomicUsize::new(0);
+        run_campaign(&config, |done, total| {
+            assert!(done <= total);
+            max_seen.fetch_max(done, Ordering::Relaxed);
+        });
+        assert_eq!(max_seen.load(Ordering::Relaxed), config.total_runs());
+    }
+}

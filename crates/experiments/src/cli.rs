@@ -1,0 +1,195 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! The binaries accept a small set of flags controlling the campaign scale:
+//!
+//! ```text
+//! --scenarios N    scenarios per (m, ncom, wmin) point       [default 3]
+//! --trials N       availability realizations per scenario    [default 3]
+//! --cap N          slot cap per run                          [default 200000]
+//! --ncom LIST      comma-separated ncom values               [default 5,10,20]
+//! --wmin LIST      comma-separated wmin values               [default 1..10]
+//! --threads N      worker threads                            [default 1]
+//! --seed N         master seed                               [default 20130520]
+//! --full           the paper's full scale (10×10, cap 10⁶)
+//! --quiet          suppress progress output
+//! ```
+
+use crate::campaign::CampaignConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Scenarios per experiment point.
+    pub scenarios: usize,
+    /// Trials per scenario.
+    pub trials: usize,
+    /// Slot cap per run.
+    pub max_slots: u64,
+    /// `ncom` values to sweep.
+    pub ncom_values: Vec<usize>,
+    /// `wmin` values to sweep.
+    pub wmin_values: Vec<u64>,
+    /// Worker threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Suppress progress output.
+    pub quiet: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scenarios: 3,
+            trials: 3,
+            max_slots: 200_000,
+            ncom_values: vec![5, 10, 20],
+            wmin_values: (1..=10).collect(),
+            threads: 1,
+            seed: 20130520,
+            quiet: false,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parse options from an argument iterator (excluding the program name).
+    pub fn parse<I, S>(args: I) -> Result<CliOptions, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = CliOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let mut take = |name: &str| -> Result<String, String> {
+                iter.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| format!("missing value for {name}"))
+            };
+            match arg {
+                "--scenarios" => opts.scenarios = parse_num(&take(arg)?, arg)?,
+                "--trials" => opts.trials = parse_num(&take(arg)?, arg)?,
+                "--cap" => opts.max_slots = parse_num(&take(arg)?, arg)?,
+                "--threads" => opts.threads = parse_num(&take(arg)?, arg)?,
+                "--seed" => opts.seed = parse_num(&take(arg)?, arg)?,
+                "--ncom" => opts.ncom_values = parse_list(&take(arg)?, arg)?,
+                "--wmin" => opts.wmin_values = parse_list(&take(arg)?, arg)?,
+                "--full" => {
+                    opts.scenarios = 10;
+                    opts.trials = 10;
+                    opts.max_slots = 1_000_000;
+                }
+                "--quiet" => opts.quiet = true,
+                "--help" | "-h" => return Err(help_text()),
+                other => return Err(format!("unknown argument '{other}'\n{}", help_text())),
+            }
+        }
+        if opts.scenarios == 0 || opts.trials == 0 {
+            return Err("--scenarios and --trials must be positive".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Parse options from the process arguments.
+    pub fn from_env() -> Result<CliOptions, String> {
+        CliOptions::parse(std::env::args().skip(1))
+    }
+
+    /// Build a campaign configuration from these options.
+    pub fn campaign(&self) -> CampaignConfig {
+        let mut config = CampaignConfig::reduced(self.scenarios, self.trials, self.max_slots);
+        config.ncom_values = self.ncom_values.clone();
+        config.wmin_values = self.wmin_values.clone();
+        config.base_seed = self.seed;
+        config.threads = self.threads;
+        config
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("invalid value '{value}' for {flag}"))
+}
+
+fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_num(s.trim(), flag))
+        .collect()
+}
+
+fn help_text() -> String {
+    "usage: <binary> [--scenarios N] [--trials N] [--cap N] [--ncom a,b,c] \
+     [--wmin a,b,c] [--threads N] [--seed N] [--full] [--quiet]"
+        .to_string()
+}
+
+/// Default progress reporter used by the binaries: prints every ~1 % of runs to
+/// stderr unless `quiet` is set.
+pub fn progress_reporter(quiet: bool) -> impl Fn(usize, usize) + Sync {
+    move |done, total| {
+        if quiet {
+            return;
+        }
+        let step = (total / 100).max(1);
+        if done % step == 0 || done == total {
+            eprint!("\r  {done}/{total} runs");
+            if done == total {
+                eprintln!();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let opts = CliOptions::parse(Vec::<&str>::new()).unwrap();
+        assert_eq!(opts, CliOptions::default());
+
+        let opts = CliOptions::parse([
+            "--scenarios", "5", "--trials", "2", "--cap", "50000", "--ncom", "5,20", "--wmin",
+            "1,2,3", "--threads", "4", "--seed", "9", "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(opts.scenarios, 5);
+        assert_eq!(opts.trials, 2);
+        assert_eq!(opts.max_slots, 50_000);
+        assert_eq!(opts.ncom_values, vec![5, 20]);
+        assert_eq!(opts.wmin_values, vec![1, 2, 3]);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.seed, 9);
+        assert!(opts.quiet);
+    }
+
+    #[test]
+    fn full_flag_sets_paper_scale() {
+        let opts = CliOptions::parse(["--full"]).unwrap();
+        assert_eq!(opts.scenarios, 10);
+        assert_eq!(opts.trials, 10);
+        assert_eq!(opts.max_slots, 1_000_000);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(CliOptions::parse(["--bogus"]).is_err());
+        assert!(CliOptions::parse(["--scenarios"]).is_err());
+        assert!(CliOptions::parse(["--scenarios", "x"]).is_err());
+        assert!(CliOptions::parse(["--scenarios", "0"]).is_err());
+    }
+
+    #[test]
+    fn campaign_reflects_options() {
+        let opts = CliOptions::parse(["--scenarios", "2", "--trials", "1", "--wmin", "1,5"]).unwrap();
+        let config = opts.campaign();
+        assert_eq!(config.scenarios_per_point, 2);
+        assert_eq!(config.trials_per_scenario, 1);
+        assert_eq!(config.wmin_values, vec![1, 5]);
+        assert_eq!(config.points().len(), 2 * 3 * 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dg-experiments
+//!
+//! The experiment-campaign harness reproducing the evaluation of Section VII
+//! of *"Scheduling Tightly-Coupled Applications on Heterogeneous Desktop
+//! Grids"* (Casanova, Dufossé, Robert, Vivien — HCW/IPDPS 2013):
+//!
+//! * [`campaign`] — runs the full factorial campaign over the experiment space
+//!   `(m, ncom, wmin)`, with a configurable number of scenarios and trials per
+//!   point, across all 17 heuristics, on a worker-thread pool;
+//! * [`runner`] — runs a single `(scenario, trial, heuristic)` instance through
+//!   the `dg-sim` engine;
+//! * [`metrics`] — computes the paper's comparison metrics against the
+//!   reference heuristic IE: `%diff`, `%wins`, `%wins30`, `stdv` and `#fails`;
+//! * [`tables`] — renders Table I (m = 5) and Table II (m = 10);
+//! * [`figures`] — produces the `%diff` vs `wmin` series of Figure 2;
+//! * [`sensitivity`] — the model-mismatch extension: the same heuristics run on
+//!   semi-Markov (Weibull / log-normal) availability traces.
+//!
+//! The binaries `table1`, `table2`, `figure2` and `sensitivity` print the
+//! corresponding paper artifacts; their `--scenarios/--trials/--cap` flags
+//! select the campaign scale (the paper's full scale is 10 scenarios × 10
+//! trials per point with a 10⁶-slot cap).
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod cli;
+pub mod figures;
+pub mod metrics;
+pub mod runner;
+pub mod sensitivity;
+pub mod tables;
+
+pub use campaign::{CampaignConfig, CampaignResults, InstanceResult};
+pub use metrics::{HeuristicSummary, ReferenceComparison};
+pub use runner::{run_instance, InstanceSpec};
+pub use tables::render_table;

@@ -1,0 +1,299 @@
+//! The paper's comparison metrics against the reference heuristic IE.
+//!
+//! For a heuristic `H` compared against the reference `R` (IE in the paper):
+//!
+//! * **%diff** — for each experimental scenario, the makespans of `H` and `R`
+//!   are averaged over the trials where both succeed, and the relative
+//!   difference `(avg_H − avg_R) / min(avg_H, avg_R)` is computed; `%diff` is
+//!   the mean of these per-scenario values, expressed in percent (negative
+//!   values mean `H` beats the reference on average);
+//! * **%wins** — fraction of trials where `H`'s makespan is at most `R`'s;
+//! * **%wins30** — fraction of trials where `H`'s makespan does not exceed
+//!   `R`'s by more than 30 %;
+//! * **stdv** — standard deviation of the per-scenario relative differences
+//!   (as a ratio, matching the paper's tables);
+//! * **#fails** — number of trials in which `H` did not complete all
+//!   iterations before the slot cap.
+
+use crate::campaign::InstanceResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated comparison of one heuristic against the reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicSummary {
+    /// Paper name of the heuristic.
+    pub name: String,
+    /// Number of failed trials (`#fails`).
+    pub fails: usize,
+    /// Mean per-scenario relative difference, in percent (`%diff`).
+    pub pct_diff: f64,
+    /// Fraction of trials won against the reference, in percent (`%wins`).
+    pub pct_wins: f64,
+    /// Fraction of trials within +30 % of the reference, in percent (`%wins30`).
+    pub pct_wins30: f64,
+    /// Standard deviation of the per-scenario relative differences (ratio).
+    pub stdv: f64,
+    /// Number of scenarios that contributed to `%diff`.
+    pub scenarios_compared: usize,
+    /// Number of trials that contributed to `%wins`.
+    pub trials_compared: usize,
+}
+
+/// Comparison of every heuristic in a result set against a reference heuristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceComparison {
+    /// Name of the reference heuristic (IE in the paper).
+    pub reference: String,
+    /// One summary per heuristic, in the order given at computation time.
+    pub summaries: Vec<HeuristicSummary>,
+}
+
+/// Key identifying one experimental scenario.
+type ScenarioKey = (usize, usize, u64, usize); // (m, ncom, wmin, scenario_index)
+
+fn scenario_key(r: &InstanceResult) -> ScenarioKey {
+    (r.params.tasks_per_iteration, r.params.ncom, r.params.wmin, r.scenario_index)
+}
+
+/// Per-heuristic, per-scenario, per-trial makespans (`None` = failed run).
+type MakespanIndex = BTreeMap<String, BTreeMap<ScenarioKey, BTreeMap<usize, Option<u64>>>>;
+
+fn index_makespans(results: &[&InstanceResult]) -> MakespanIndex {
+    let mut index: MakespanIndex = BTreeMap::new();
+    for r in results {
+        index
+            .entry(r.heuristic.clone())
+            .or_default()
+            .entry(scenario_key(r))
+            .or_default()
+            .insert(r.trial_index, r.outcome.makespan);
+    }
+    index
+}
+
+impl ReferenceComparison {
+    /// Compute the comparison of every heuristic appearing in `results` against
+    /// `reference`. `heuristic_order` fixes the row order (heuristics absent
+    /// from the results are skipped).
+    pub fn compute(
+        results: &[&InstanceResult],
+        reference: &str,
+        heuristic_order: &[String],
+    ) -> ReferenceComparison {
+        let index = index_makespans(results);
+        let reference_runs = index.get(reference).cloned().unwrap_or_default();
+
+        let mut summaries = Vec::new();
+        for name in heuristic_order {
+            let Some(runs) = index.get(name) else { continue };
+            let mut fails = 0usize;
+            let mut per_scenario_rel: Vec<f64> = Vec::new();
+            let mut wins = 0usize;
+            let mut wins30 = 0usize;
+            let mut trials_compared = 0usize;
+
+            for (key, trials) in runs {
+                let ref_trials = reference_runs.get(key);
+                let mut h_sum = 0.0;
+                let mut r_sum = 0.0;
+                let mut joint = 0usize;
+                for (&trial, &h_makespan) in trials {
+                    if h_makespan.is_none() {
+                        fails += 1;
+                    }
+                    let r_makespan = ref_trials.and_then(|t| t.get(&trial).copied().flatten());
+                    let Some(r_ms) = r_makespan else { continue };
+                    // %wins / %wins30 are per-trial, counting failed H runs as losses.
+                    trials_compared += 1;
+                    match h_makespan {
+                        Some(h_ms) => {
+                            if h_ms <= r_ms {
+                                wins += 1;
+                            }
+                            if h_ms as f64 <= 1.3 * r_ms as f64 {
+                                wins30 += 1;
+                            }
+                            h_sum += h_ms as f64;
+                            r_sum += r_ms as f64;
+                            joint += 1;
+                        }
+                        None => {}
+                    }
+                }
+                if joint > 0 {
+                    let avg_h = h_sum / joint as f64;
+                    let avg_r = r_sum / joint as f64;
+                    let rel = (avg_h - avg_r) / avg_h.min(avg_r).max(f64::MIN_POSITIVE);
+                    per_scenario_rel.push(rel);
+                }
+            }
+
+            let n = per_scenario_rel.len();
+            let mean_rel = if n > 0 { per_scenario_rel.iter().sum::<f64>() / n as f64 } else { 0.0 };
+            let stdv = if n > 1 {
+                let var = per_scenario_rel.iter().map(|x| (x - mean_rel).powi(2)).sum::<f64>()
+                    / (n as f64 - 1.0);
+                var.sqrt()
+            } else {
+                0.0
+            };
+            summaries.push(HeuristicSummary {
+                name: name.clone(),
+                fails,
+                pct_diff: 100.0 * mean_rel,
+                pct_wins: if trials_compared > 0 {
+                    100.0 * wins as f64 / trials_compared as f64
+                } else {
+                    0.0
+                },
+                pct_wins30: if trials_compared > 0 {
+                    100.0 * wins30 as f64 / trials_compared as f64
+                } else {
+                    0.0
+                },
+                stdv,
+                scenarios_compared: n,
+                trials_compared,
+            });
+        }
+        ReferenceComparison { reference: reference.to_string(), summaries }
+    }
+
+    /// Summaries sorted by increasing `%diff` (best heuristic first), the order
+    /// used by the paper's tables.
+    pub fn sorted_by_diff(&self) -> Vec<&HeuristicSummary> {
+        let mut rows: Vec<&HeuristicSummary> = self.summaries.iter().collect();
+        rows.sort_by(|a, b| a.pct_diff.partial_cmp(&b.pct_diff).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+
+    /// Summary of a specific heuristic, if present.
+    pub fn summary_of(&self, name: &str) -> Option<&HeuristicSummary> {
+        self.summaries.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_platform::ScenarioParams;
+    use dg_sim::{SimOutcome, SimStats};
+
+    fn result(
+        heuristic: &str,
+        scenario: usize,
+        trial: usize,
+        makespan: Option<u64>,
+    ) -> InstanceResult {
+        InstanceResult {
+            params: ScenarioParams::paper(5, 10, 1),
+            scenario_index: scenario,
+            trial_index: trial,
+            heuristic: heuristic.to_string(),
+            outcome: SimOutcome {
+                completed_iterations: if makespan.is_some() { 10 } else { 3 },
+                target_iterations: 10,
+                makespan,
+                simulated_slots: makespan.unwrap_or(1_000_000),
+                stats: SimStats::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn better_heuristic_gets_negative_diff_and_high_wins() {
+        // Scenario 0: H = 80 vs IE = 100 on both trials.
+        let data = vec![
+            result("IE", 0, 0, Some(100)),
+            result("IE", 0, 1, Some(100)),
+            result("H", 0, 0, Some(80)),
+            result("H", 0, 1, Some(80)),
+        ];
+        let refs: Vec<&InstanceResult> = data.iter().collect();
+        let cmp =
+            ReferenceComparison::compute(&refs, "IE", &["IE".to_string(), "H".to_string()]);
+        let h = cmp.summary_of("H").unwrap();
+        assert!((h.pct_diff - (-25.0)).abs() < 1e-9); // (80-100)/80 = -0.25
+        assert!((h.pct_wins - 100.0).abs() < 1e-9);
+        assert!((h.pct_wins30 - 100.0).abs() < 1e-9);
+        assert_eq!(h.fails, 0);
+        let ie = cmp.summary_of("IE").unwrap();
+        assert!((ie.pct_diff - 0.0).abs() < 1e-9);
+        assert!((ie.pct_wins - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worse_heuristic_and_wins30_threshold() {
+        // H = 125 vs IE = 100: within 30% -> wins30 but not wins.
+        let data = vec![
+            result("IE", 0, 0, Some(100)),
+            result("H", 0, 0, Some(125)),
+            // Second scenario: H = 200 vs IE = 100 -> outside 30%.
+            result("IE", 1, 0, Some(100)),
+            result("H", 1, 0, Some(200)),
+        ];
+        let refs: Vec<&InstanceResult> = data.iter().collect();
+        let cmp = ReferenceComparison::compute(&refs, "IE", &["H".to_string()]);
+        let h = cmp.summary_of("H").unwrap();
+        // per-scenario rels: 0.25 and 1.0 -> mean 62.5%
+        assert!((h.pct_diff - 62.5).abs() < 1e-9);
+        assert!((h.pct_wins - 0.0).abs() < 1e-9);
+        assert!((h.pct_wins30 - 50.0).abs() < 1e-9);
+        assert!(h.stdv > 0.0);
+        assert_eq!(h.scenarios_compared, 2);
+    }
+
+    #[test]
+    fn failed_trials_count_as_fails_and_losses() {
+        let data = vec![
+            result("IE", 0, 0, Some(100)),
+            result("IE", 0, 1, Some(100)),
+            result("H", 0, 0, None),
+            result("H", 0, 1, Some(90)),
+        ];
+        let refs: Vec<&InstanceResult> = data.iter().collect();
+        let cmp = ReferenceComparison::compute(&refs, "IE", &["H".to_string()]);
+        let h = cmp.summary_of("H").unwrap();
+        assert_eq!(h.fails, 1);
+        // trial 0 is a loss (H failed), trial 1 a win -> 50% wins.
+        assert!((h.pct_wins - 50.0).abs() < 1e-9);
+        // %diff computed only on the joint-success trial: (90-100)/90.
+        assert!((h.pct_diff - 100.0 * (90.0 - 100.0) / 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trials_where_reference_fails_are_excluded_from_wins() {
+        let data = vec![
+            result("IE", 0, 0, None),
+            result("H", 0, 0, Some(50)),
+            result("IE", 0, 1, Some(100)),
+            result("H", 0, 1, Some(100)),
+        ];
+        let refs: Vec<&InstanceResult> = data.iter().collect();
+        let cmp = ReferenceComparison::compute(&refs, "IE", &["H".to_string()]);
+        let h = cmp.summary_of("H").unwrap();
+        assert_eq!(h.trials_compared, 1);
+        assert!((h.pct_wins - 100.0).abs() < 1e-9);
+        assert_eq!(h.fails, 0);
+    }
+
+    #[test]
+    fn sorted_by_diff_orders_best_first() {
+        let data = vec![
+            result("IE", 0, 0, Some(100)),
+            result("A", 0, 0, Some(150)),
+            result("B", 0, 0, Some(70)),
+        ];
+        let refs: Vec<&InstanceResult> = data.iter().collect();
+        let cmp = ReferenceComparison::compute(
+            &refs,
+            "IE",
+            &["IE".to_string(), "A".to_string(), "B".to_string()],
+        );
+        let sorted = cmp.sorted_by_diff();
+        assert_eq!(sorted[0].name, "B");
+        assert_eq!(sorted[1].name, "IE");
+        assert_eq!(sorted[2].name, "A");
+    }
+}

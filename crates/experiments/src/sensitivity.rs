@@ -1,0 +1,224 @@
+//! Model-mismatch sensitivity study (the paper's "future work" experiment).
+//!
+//! The heuristics' probabilistic criteria assume the 3-state **Markov**
+//! availability model. Measurement studies cited by the paper suggest that
+//! real desktop-grid availability intervals follow Weibull or log-normal
+//! distributions instead. This module runs the same heuristics against
+//! **semi-Markov** availability traces whose mean sojourn times match the
+//! Markov chains the heuristics believe in, and reports how the ranking
+//! degrades — quantifying the robustness question raised in Section VII-B.
+
+use crate::campaign::InstanceResult;
+use crate::metrics::ReferenceComparison;
+use crate::runner::trial_seed;
+use dg_availability::rng::derive_seed;
+use dg_availability::semi_markov::SemiMarkovModel;
+use dg_availability::ProcState;
+use dg_heuristics::HeuristicSpec;
+use dg_platform::{Scenario, ScenarioParams};
+use dg_sim::{SimulationLimits, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the sensitivity experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityConfig {
+    /// Experiment points to evaluate.
+    pub points: Vec<ScenarioParams>,
+    /// Scenarios per point.
+    pub scenarios_per_point: usize,
+    /// Trials per scenario.
+    pub trials_per_scenario: usize,
+    /// Slot cap per run.
+    pub max_slots: u64,
+    /// Heuristics to compare.
+    pub heuristics: Vec<HeuristicSpec>,
+    /// Master seed.
+    pub base_seed: u64,
+    /// Precision of the Section V estimates.
+    pub epsilon: f64,
+    /// Weibull shape parameter of the `UP` sojourns (`< 1` = heavy tail).
+    pub weibull_shape: f64,
+}
+
+impl SensitivityConfig {
+    /// A small default configuration usable on a single core.
+    pub fn small() -> Self {
+        SensitivityConfig {
+            points: vec![ScenarioParams::paper(5, 10, 2)],
+            scenarios_per_point: 3,
+            trials_per_scenario: 2,
+            max_slots: 100_000,
+            heuristics: ["IE", "IAY", "Y-IE", "P-IE", "E-IAY", "RANDOM"]
+                .iter()
+                .map(|n| HeuristicSpec::parse(n).unwrap())
+                .collect(),
+            base_seed: 1807,
+            epsilon: dg_analysis::DEFAULT_EPSILON,
+            weibull_shape: 0.7,
+        }
+    }
+}
+
+/// Results of the sensitivity experiment: the same instances run under the
+/// Markov model the heuristics assume, and under the semi-Markov model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityResults {
+    /// Outcomes under the (matched) Markov availability.
+    pub markov: Vec<InstanceResult>,
+    /// Outcomes under semi-Markov (Weibull/log-normal) availability.
+    pub semi_markov: Vec<InstanceResult>,
+}
+
+/// Build, for every worker of a scenario, a semi-Markov model whose mean `UP`
+/// sojourn and crash-vs-preemption mix match the worker's Markov chain.
+pub fn matched_semi_markov_models(scenario: &Scenario, weibull_shape: f64) -> Vec<SemiMarkovModel> {
+    scenario
+        .platform
+        .chains()
+        .iter()
+        .map(|chain| {
+            let p_uu = chain.prob(ProcState::Up, ProcState::Up);
+            let p_ur = chain.prob(ProcState::Up, ProcState::Reclaimed);
+            let p_ud = chain.prob(ProcState::Up, ProcState::Down);
+            let mean_up = 1.0 / (1.0 - p_uu).max(1e-6);
+            let down_fraction = if p_ur + p_ud > 0.0 { p_ud / (p_ur + p_ud) } else { 0.0 };
+            SemiMarkovModel::weibull_lognormal(mean_up, weibull_shape, down_fraction)
+        })
+        .collect()
+}
+
+/// Run the sensitivity experiment sequentially.
+pub fn run_sensitivity(config: &SensitivityConfig) -> SensitivityResults {
+    let mut markov = Vec::new();
+    let mut semi = Vec::new();
+    for (point_index, &params) in config.points.iter().enumerate() {
+        for scenario_index in 0..config.scenarios_per_point {
+            let seed = derive_seed(
+                config.base_seed,
+                (point_index as u64) << 20 | scenario_index as u64,
+            );
+            let scenario = Scenario::generate(params, seed);
+            let models = matched_semi_markov_models(&scenario, config.weibull_shape);
+            for trial_index in 0..config.trials_per_scenario {
+                let availability_seed = trial_seed(config.base_seed, scenario.seed, trial_index);
+                // The semi-Markov trace is shared by every heuristic of the trial.
+                let semi_traces = SemiMarkovModel::generate_set(
+                    &models,
+                    config.max_slots,
+                    availability_seed,
+                );
+                for heuristic in &config.heuristics {
+                    let record = |outcome| InstanceResult {
+                        params,
+                        scenario_index,
+                        trial_index,
+                        heuristic: heuristic.name(),
+                        outcome,
+                    };
+                    // Markov run.
+                    let markov_avail = scenario.availability_for_trial(availability_seed, false);
+                    let mut sched =
+                        heuristic.build(derive_seed(availability_seed, 0x5EED), config.epsilon);
+                    let (outcome, _) = Simulator::new(&scenario, markov_avail)
+                        .with_limits(SimulationLimits::with_max_slots(config.max_slots))
+                        .run(sched.as_mut());
+                    markov.push(record(outcome));
+                    // Semi-Markov run on the same scenario.
+                    let mut sched =
+                        heuristic.build(derive_seed(availability_seed, 0x5EED), config.epsilon);
+                    let (outcome, _) = Simulator::new(&scenario, semi_traces.clone())
+                        .with_limits(SimulationLimits::with_max_slots(config.max_slots))
+                        .run(sched.as_mut());
+                    semi.push(record(outcome));
+                }
+            }
+        }
+    }
+    SensitivityResults { markov, semi_markov: semi }
+}
+
+/// Render the sensitivity comparison: `%diff` vs the reference under both
+/// availability models, side by side.
+pub fn render_sensitivity(
+    results: &SensitivityResults,
+    reference: &str,
+    heuristic_order: &[String],
+) -> String {
+    let markov_refs: Vec<&InstanceResult> = results.markov.iter().collect();
+    let semi_refs: Vec<&InstanceResult> = results.semi_markov.iter().collect();
+    let markov_cmp = ReferenceComparison::compute(&markov_refs, reference, heuristic_order);
+    let semi_cmp = ReferenceComparison::compute(&semi_refs, reference, heuristic_order);
+
+    let mut out = String::new();
+    out.push_str("MODEL-MISMATCH SENSITIVITY (reference = ");
+    out.push_str(reference);
+    out.push_str(")\n");
+    out.push_str(&format!(
+        "{:<10} {:>14} {:>14} {:>10} {:>10}\n",
+        "Heuristic", "%diff Markov", "%diff semi-M", "#fails M", "#fails SM"
+    ));
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    for name in heuristic_order {
+        let m = markov_cmp.summary_of(name);
+        let s = semi_cmp.summary_of(name);
+        if let (Some(m), Some(s)) = (m, s) {
+            out.push_str(&format!(
+                "{:<10} {:>14.2} {:>14.2} {:>10} {:>10}\n",
+                name, m.pct_diff, s.pct_diff, m.fails, s.fails
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_models_have_matching_means() {
+        let scenario = Scenario::generate(ScenarioParams::paper(5, 10, 1), 5);
+        let models = matched_semi_markov_models(&scenario, 0.8);
+        assert_eq!(models.len(), scenario.platform.num_workers());
+        for (chain, model) in scenario.platform.chains().iter().zip(models.iter()) {
+            let p_uu = chain.prob(ProcState::Up, ProcState::Up);
+            let expected_mean = 1.0 / (1.0 - p_uu);
+            let actual_mean = model.up.holding.mean();
+            assert!(
+                (actual_mean - expected_mean).abs() / expected_mean < 0.01,
+                "mean UP sojourn {actual_mean} vs Markov {expected_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_sensitivity_run_produces_paired_results() {
+        let config = SensitivityConfig {
+            points: vec![ScenarioParams {
+                num_workers: 8,
+                tasks_per_iteration: 3,
+                ncom: 5,
+                wmin: 1,
+                iterations: 2,
+            }],
+            scenarios_per_point: 1,
+            trials_per_scenario: 1,
+            max_slots: 20_000,
+            heuristics: vec![
+                HeuristicSpec::parse("IE").unwrap(),
+                HeuristicSpec::parse("IAY").unwrap(),
+            ],
+            base_seed: 3,
+            epsilon: 1e-6,
+            weibull_shape: 0.8,
+        };
+        let results = run_sensitivity(&config);
+        assert_eq!(results.markov.len(), 2);
+        assert_eq!(results.semi_markov.len(), 2);
+        let names = vec!["IE".to_string(), "IAY".to_string()];
+        let text = render_sensitivity(&results, "IE", &names);
+        assert!(text.contains("IAY"));
+        assert!(text.contains("%diff Markov"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Text rendering of the paper's result tables (Table I and Table II).
+
+use crate::campaign::InstanceResult;
+use crate::metrics::ReferenceComparison;
+
+/// Render a comparison as a text table in the paper's format:
+/// rows sorted by increasing `%diff` (best heuristic first), columns
+/// `Heuristic | #fails | %diff | %wins | %wins30 | stdv`.
+pub fn render_table(title: &str, comparison: &ReferenceComparison) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>9} {:>8} {:>9} {:>7}\n",
+        "Heuristic", "#fails", "%diff", "%wins", "%wins30", "stdv"
+    ));
+    out.push_str(&"-".repeat(56));
+    out.push('\n');
+    for row in comparison.sorted_by_diff() {
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>9.2} {:>8.2} {:>9.2} {:>7.2}\n",
+            row.name, row.fails, row.pct_diff, row.pct_wins, row.pct_wins30, row.stdv
+        ));
+    }
+    out
+}
+
+/// Build the comparison underlying Table I / Table II: all heuristics of the
+/// result subset compared against the reference (IE in the paper).
+pub fn table_comparison(
+    results: &[&InstanceResult],
+    reference: &str,
+    heuristic_order: &[String],
+) -> ReferenceComparison {
+    ReferenceComparison::compute(results, reference, heuristic_order)
+}
+
+/// Restrict a table to the heuristics whose `%diff` does not exceed a bound —
+/// the paper's Table II only reports the heuristics below +50 %.
+pub fn filter_by_diff(comparison: &ReferenceComparison, max_pct_diff: f64) -> ReferenceComparison {
+    ReferenceComparison {
+        reference: comparison.reference.clone(),
+        summaries: comparison
+            .summaries
+            .iter()
+            .filter(|s| s.pct_diff <= max_pct_diff)
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HeuristicSummary;
+
+    fn summary(name: &str, diff: f64) -> HeuristicSummary {
+        HeuristicSummary {
+            name: name.to_string(),
+            fails: 1,
+            pct_diff: diff,
+            pct_wins: 50.0,
+            pct_wins30: 80.0,
+            stdv: 0.5,
+            scenarios_compared: 10,
+            trials_compared: 100,
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows_sorted() {
+        let cmp = ReferenceComparison {
+            reference: "IE".to_string(),
+            summaries: vec![summary("A", 20.0), summary("B", -10.0), summary("IE", 0.0)],
+        };
+        let text = render_table("RESULTS WITH m = 5 TASKS", &cmp);
+        assert!(text.contains("RESULTS WITH m = 5"));
+        let pos_b = text.find("B ").unwrap();
+        let pos_ie = text.find("IE ").unwrap();
+        let pos_a = text.find("A ").unwrap();
+        assert!(pos_b < pos_ie && pos_ie < pos_a, "rows must be sorted by %diff:\n{text}");
+        assert!(text.contains("-10.00"));
+        assert!(text.contains("#fails"));
+    }
+
+    #[test]
+    fn filter_by_diff_drops_poor_heuristics() {
+        let cmp = ReferenceComparison {
+            reference: "IE".to_string(),
+            summaries: vec![summary("A", 120.0), summary("B", 30.0), summary("C", -5.0)],
+        };
+        let filtered = filter_by_diff(&cmp, 50.0);
+        assert_eq!(filtered.summaries.len(), 2);
+        assert!(filtered.summary_of("A").is_none());
+        assert!(filtered.summary_of("B").is_some());
+    }
+}

@@ -1,0 +1,92 @@
+//! Candidate configurations built incrementally by the heuristics.
+
+use dg_sim::Assignment;
+
+/// A partial task-to-worker mapping under construction.
+///
+/// The incremental heuristics of Section VI-A add tasks one at a time; this
+/// helper tracks per-worker task counts and converts the final result into a
+/// [`dg_sim::Assignment`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateConfig {
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl CandidateConfig {
+    /// An empty candidate over a platform of `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        CandidateConfig { counts: vec![0; num_workers], total: 0 }
+    }
+
+    /// Number of tasks currently assigned to worker `q`.
+    pub fn tasks_of(&self, q: usize) -> usize {
+        self.counts[q]
+    }
+
+    /// Total number of tasks assigned so far.
+    pub fn total_tasks(&self) -> usize {
+        self.total
+    }
+
+    /// Assign one more task to worker `q`.
+    pub fn add_task(&mut self, q: usize) {
+        self.counts[q] += 1;
+        self.total += 1;
+    }
+
+    /// Remove one task from worker `q` (used to undo a tentative assignment).
+    ///
+    /// # Panics
+    /// Panics if worker `q` has no task.
+    pub fn remove_task(&mut self, q: usize) {
+        assert!(self.counts[q] > 0, "worker {q} has no task to remove");
+        self.counts[q] -= 1;
+        self.total -= 1;
+    }
+
+    /// `(worker, task count)` pairs for workers holding at least one task,
+    /// sorted by worker index.
+    pub fn entries(&self) -> Vec<(usize, usize)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(q, &c)| (q, c))
+            .collect()
+    }
+
+    /// Convert into a simulator assignment.
+    pub fn to_assignment(&self) -> Assignment {
+        Assignment::new(self.entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_and_convert() {
+        let mut c = CandidateConfig::new(4);
+        assert_eq!(c.total_tasks(), 0);
+        c.add_task(2);
+        c.add_task(2);
+        c.add_task(0);
+        assert_eq!(c.total_tasks(), 3);
+        assert_eq!(c.tasks_of(2), 2);
+        assert_eq!(c.entries(), vec![(0, 1), (2, 2)]);
+        c.remove_task(2);
+        assert_eq!(c.entries(), vec![(0, 1), (2, 1)]);
+        let a = c.to_assignment();
+        assert_eq!(a.total_tasks(), 2);
+        assert_eq!(a.members(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_from_empty_worker_panics() {
+        let mut c = CandidateConfig::new(2);
+        c.remove_task(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared evaluation context for all heuristics.
+//!
+//! The context owns the (lazily created) [`dg_analysis::Estimator`] and knows
+//! how to evaluate a candidate configuration — or the *remaining* work of the
+//! currently active configuration — against the Section V estimates, taking
+//! into account what each worker already holds (program, data messages).
+
+use dg_analysis::{Estimator, IterationEstimate};
+use dg_sim::config::ActiveConfiguration;
+use dg_sim::view::SimView;
+
+/// Lazily initialized evaluation context shared by the heuristics.
+#[derive(Debug, Default)]
+pub struct SchedulingContext {
+    estimator: Option<Estimator>,
+    epsilon: f64,
+}
+
+impl SchedulingContext {
+    /// Create a context using the given series-truncation precision `ε`.
+    pub fn new(epsilon: f64) -> Self {
+        SchedulingContext { estimator: None, epsilon }
+    }
+
+    /// Create a context with the default precision of `dg-analysis`.
+    pub fn with_default_epsilon() -> Self {
+        SchedulingContext::new(dg_analysis::DEFAULT_EPSILON)
+    }
+
+    /// Access the estimator, creating it from the view's platform and master
+    /// description on first use.
+    pub fn estimator(&mut self, view: &SimView<'_>) -> &mut Estimator {
+        if self.estimator.is_none() {
+            self.estimator = Some(Estimator::new(view.platform, view.master, self.epsilon));
+        }
+        self.estimator.as_mut().expect("estimator was just initialized")
+    }
+
+    /// Evaluate a candidate configuration described by `(worker, tasks)` pairs:
+    /// expected duration and success probability of the whole iteration it
+    /// would run (remaining communication given what workers already hold,
+    /// followed by the full lock-step computation).
+    pub fn evaluate(&mut self, view: &SimView<'_>, entries: &[(usize, usize)]) -> IterationEstimate {
+        let members: Vec<usize> = entries.iter().map(|&(q, _)| q).collect();
+        let tasks: Vec<usize> = entries.iter().map(|&(_, x)| x).collect();
+        let comm: Vec<u64> =
+            entries.iter().map(|&(q, x)| view.comm_slots_remaining(q, x)).collect();
+        let est = self.estimator(view);
+        est.iteration_estimate(&members, &tasks, &comm)
+    }
+
+    /// Evaluate the *remaining* work of the currently active configuration:
+    /// outstanding communication plus the computation slots not yet performed.
+    ///
+    /// This is the "updated value of the criterion" used by the proactive
+    /// heuristics to compare the running configuration against a freshly built
+    /// candidate (Section VI-B).
+    pub fn evaluate_remaining(
+        &mut self,
+        view: &SimView<'_>,
+        config: &ActiveConfiguration,
+    ) -> IterationEstimate {
+        let entries = config.assignment.entries();
+        let members: Vec<usize> = entries.iter().map(|&(q, _)| q).collect();
+        let comm: Vec<u64> =
+            entries.iter().map(|&(q, x)| view.comm_slots_remaining(q, x)).collect();
+        let remaining = config.remaining_computation();
+        let est = self.estimator(view);
+        let comm_est = est.comm_estimate(&members, &comm);
+        let comp_e = est.expected_computation_time(&members, remaining);
+        let comp_p = est.computation_success_probability(&members, remaining);
+        IterationEstimate::combine(
+            comm_est.expected_duration,
+            comm_est.success_probability,
+            comp_e,
+            comp_p,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_availability::ProcState;
+    use dg_platform::{ApplicationSpec, MasterSpec, Platform};
+    use dg_sim::view::WorkerView;
+    use dg_sim::worker_state::WorkerDynamicState;
+    use dg_sim::Assignment;
+
+    struct Fixture {
+        platform: Platform,
+        application: ApplicationSpec,
+        master: MasterSpec,
+        workers: Vec<WorkerView>,
+    }
+
+    fn fixture() -> Fixture {
+        let platform = Platform::reliable_homogeneous(3, 2);
+        Fixture {
+            platform,
+            application: ApplicationSpec::new(3, 10),
+            master: MasterSpec::from_slots(3, 2, 1),
+            workers: vec![
+                WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() };
+                3
+            ],
+        }
+    }
+
+    fn view<'a>(f: &'a Fixture, current: Option<&'a ActiveConfiguration>) -> SimView<'a> {
+        SimView {
+            time: 0,
+            iteration: 0,
+            completed_iterations: 0,
+            iteration_started_at: 0,
+            workers: &f.workers,
+            platform: &f.platform,
+            application: &f.application,
+            master: &f.master,
+            current,
+        }
+    }
+
+    #[test]
+    fn evaluate_reliable_candidate_is_exact() {
+        let f = fixture();
+        let v = view(&f, None);
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        let est = ctx.evaluate(&v, &[(0, 1), (1, 1), (2, 1)]);
+        // comm: program 2 + data 1 = 3 per worker, parallel -> 3; compute: 2.
+        assert!((est.expected_duration - 5.0).abs() < 1e-6);
+        assert!((est.success_probability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_accounts_for_already_received_data() {
+        let mut f = fixture();
+        // Worker 0 already holds the program and one data message.
+        f.workers[0].dynamic =
+            WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() };
+        let v = view(&f, None);
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        let with_data = ctx.evaluate(&v, &[(0, 1)]);
+        let fresh = ctx.evaluate(&v, &[(1, 1)]);
+        // Worker 0 needs no more communication, so it is strictly faster.
+        assert!(with_data.expected_duration < fresh.expected_duration);
+        assert!((with_data.expected_duration - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_remaining_shrinks_as_computation_progresses() {
+        let f = fixture();
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        let assignment = Assignment::new([(0, 1), (1, 1), (2, 1)]);
+        let mut cfg = ActiveConfiguration::new(assignment, &f.platform, 0);
+        // Pretend communication is done.
+        let mut f2 = fixture();
+        for w in f2.workers.iter_mut() {
+            w.dynamic =
+                WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() };
+        }
+        let v = view(&f2, None);
+        let before = ctx.evaluate_remaining(&v, &cfg);
+        cfg.advance_computation();
+        let after = ctx.evaluate_remaining(&v, &cfg);
+        assert!(after.expected_duration < before.expected_duration);
+        assert!(after.success_probability >= before.success_probability - 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dg-heuristics
+//!
+//! The on-line scheduling heuristics of Section VI of *"Scheduling
+//! Tightly-Coupled Applications on Heterogeneous Desktop Grids"* (Casanova,
+//! Dufossé, Robert, Vivien — HCW/IPDPS 2013).
+//!
+//! All heuristics implement the [`dg_sim::Scheduler`] trait and are driven by
+//! the `dg-sim` engine once per time-slot. The paper's 17 heuristics are:
+//!
+//! * **RANDOM** — the baseline: tasks are assigned to `UP` workers uniformly at
+//!   random ([`RandomScheduler`]).
+//! * Four **passive** incremental heuristics ([`PassiveScheduler`]): tasks are
+//!   assigned one by one, each to the worker that optimizes a criterion over
+//!   the partial configuration —
+//!   **IP** (probability of success), **IE** (expected completion time),
+//!   **IY** (yield), **IAY** (apparent yield). A passive heuristic only selects
+//!   a configuration when none is active (start of iteration or after a
+//!   failure).
+//! * Twelve **proactive** heuristics ([`ProactiveScheduler`]), written `C-H`
+//!   with criterion `C ∈ {P, E, Y}` and building block `H ∈ {IP, IE, IY, IAY}`:
+//!   at every slot a candidate configuration is built from scratch with `H`,
+//!   and it replaces the current one if it is strictly better according to `C`
+//!   (the current configuration being re-evaluated on its *remaining* work).
+//!
+//! The [`registry`] module enumerates all heuristics by their paper names
+//! (`"Y-IE"`, `"IAY"`, `"RANDOM"`, …) and builds them from a name string.
+
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod context;
+pub mod passive;
+pub mod proactive;
+pub mod random;
+pub mod registry;
+
+pub use candidate::CandidateConfig;
+pub use context::SchedulingContext;
+pub use passive::{PassiveKind, PassiveScheduler};
+pub use proactive::{ProactiveCriterion, ProactiveScheduler};
+pub use random::RandomScheduler;
+pub use registry::{all_heuristic_names, build_heuristic, HeuristicSpec};

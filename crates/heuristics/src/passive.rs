@@ -1,0 +1,327 @@
+//! Passive incremental heuristics IP, IE, IY, IAY (Section VI-A).
+//!
+//! A passive heuristic selects a configuration only when none is active (at
+//! the start of an iteration or after a worker failure destroyed the current
+//! one). Tasks are assigned one at a time: the next task goes to the `UP`
+//! worker that optimizes the heuristic's criterion evaluated on the partial
+//! configuration extended with that worker.
+
+use crate::candidate::CandidateConfig;
+use crate::context::SchedulingContext;
+use dg_analysis::IterationEstimate;
+use dg_sim::view::{Decision, Scheduler, SimView};
+use dg_sim::Assignment;
+use serde::{Deserialize, Serialize};
+
+/// The four incremental task-placement criteria of Section VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PassiveKind {
+    /// **IP** — maximize the probability of success of the (partial)
+    /// configuration.
+    IP,
+    /// **IE** — minimize the expected completion time of the iteration.
+    IE,
+    /// **IY** — maximize the yield `P/(E + t)`.
+    IY,
+    /// **IAY** — maximize the apparent yield `P/E`.
+    IAY,
+}
+
+impl PassiveKind {
+    /// All four kinds, in the paper's order.
+    pub const ALL: [PassiveKind; 4] =
+        [PassiveKind::IP, PassiveKind::IE, PassiveKind::IY, PassiveKind::IAY];
+
+    /// The paper's name for the heuristic.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            PassiveKind::IP => "IP",
+            PassiveKind::IE => "IE",
+            PassiveKind::IY => "IY",
+            PassiveKind::IAY => "IAY",
+        }
+    }
+
+    /// Score of a candidate configuration: **higher is better** for every kind
+    /// (expected completion time is negated).
+    pub fn score(&self, estimate: &IterationEstimate, elapsed_in_iteration: u64) -> f64 {
+        match self {
+            PassiveKind::IP => estimate.success_probability,
+            PassiveKind::IE => -estimate.expected_duration,
+            PassiveKind::IY => estimate.yield_metric(elapsed_in_iteration),
+            PassiveKind::IAY => estimate.apparent_yield(),
+        }
+    }
+}
+
+impl std::str::FromStr for PassiveKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "IP" => Ok(PassiveKind::IP),
+            "IE" => Ok(PassiveKind::IE),
+            "IY" => Ok(PassiveKind::IY),
+            "IAY" => Ok(PassiveKind::IAY),
+            other => Err(format!("unknown passive heuristic '{other}'")),
+        }
+    }
+}
+
+/// Build a full configuration with the incremental algorithm of Section VI-A.
+///
+/// Tasks are placed one at a time on the `UP` worker maximizing
+/// `kind.score(...)`; ties are broken toward the lowest worker index. Returns
+/// `None` when the `UP` workers cannot hold all `m` tasks (the scheduler then
+/// waits for more workers to come back `UP`).
+pub fn build_incremental(
+    context: &mut SchedulingContext,
+    view: &SimView<'_>,
+    kind: PassiveKind,
+) -> Option<Assignment> {
+    let m = view.application.tasks_per_iteration;
+    let up: Vec<usize> = view.up_workers();
+    if up.is_empty() {
+        return None;
+    }
+    let elapsed = view.elapsed_in_iteration();
+    let mut candidate = CandidateConfig::new(view.platform.num_workers());
+
+    for _ in 0..m {
+        let mut best: Option<(usize, f64)> = None;
+        for &q in &up {
+            if !view.platform.worker(q).can_hold(candidate.tasks_of(q) + 1) {
+                continue;
+            }
+            candidate.add_task(q);
+            let estimate = context.evaluate(view, &candidate.entries());
+            let score = kind.score(&estimate, elapsed);
+            candidate.remove_task(q);
+            let better = match best {
+                None => true,
+                Some((_, best_score)) => score > best_score,
+            };
+            if better {
+                best = Some((q, score));
+            }
+        }
+        match best {
+            Some((q, _)) => candidate.add_task(q),
+            None => return None, // no UP worker can take another task
+        }
+    }
+    Some(candidate.to_assignment())
+}
+
+/// A passive scheduler: selects a configuration with [`build_incremental`]
+/// only when no configuration is active.
+#[derive(Debug)]
+pub struct PassiveScheduler {
+    kind: PassiveKind,
+    context: SchedulingContext,
+    name: String,
+}
+
+impl PassiveScheduler {
+    /// Create a passive scheduler with the default estimate precision.
+    pub fn new(kind: PassiveKind) -> Self {
+        PassiveScheduler::with_epsilon(kind, dg_analysis::DEFAULT_EPSILON)
+    }
+
+    /// Create a passive scheduler with an explicit estimate precision `ε`.
+    pub fn with_epsilon(kind: PassiveKind, epsilon: f64) -> Self {
+        PassiveScheduler {
+            kind,
+            context: SchedulingContext::new(epsilon),
+            name: kind.paper_name().to_string(),
+        }
+    }
+
+    /// The incremental criterion used by this scheduler.
+    pub fn kind(&self) -> PassiveKind {
+        self.kind
+    }
+}
+
+impl Scheduler for PassiveScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Decision {
+        if view.current.is_some() {
+            return Decision::KeepCurrent;
+        }
+        match build_incremental(&mut self.context, view, self.kind) {
+            Some(assignment) => Decision::NewConfiguration(assignment),
+            None => Decision::KeepCurrent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_availability::{MarkovChain3, ProcState};
+    use dg_platform::{ApplicationSpec, MasterSpec, Platform, WorkerSpec};
+    use dg_sim::view::WorkerView;
+    use dg_sim::worker_state::WorkerDynamicState;
+
+    struct Fixture {
+        platform: Platform,
+        application: ApplicationSpec,
+        master: MasterSpec,
+        workers: Vec<WorkerView>,
+    }
+
+    impl Fixture {
+        fn view(&self) -> SimView<'_> {
+            SimView {
+                time: 0,
+                iteration: 0,
+                completed_iterations: 0,
+                iteration_started_at: 0,
+                workers: &self.workers,
+                platform: &self.platform,
+                application: &self.application,
+                master: &self.master,
+                current: None,
+            }
+        }
+    }
+
+    fn heterogeneous_reliable(m: usize) -> Fixture {
+        // Speeds 1..=4, all reliable and UP.
+        let platform = Platform::new(
+            (1..=4).map(|s| WorkerSpec::new(s)).collect(),
+            vec![MarkovChain3::always_up(); 4],
+        );
+        Fixture {
+            platform,
+            application: ApplicationSpec::new(m, 10),
+            master: MasterSpec::from_slots(4, 0, 0),
+            workers: vec![
+                WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() };
+                4
+            ],
+        }
+    }
+
+    #[test]
+    fn ie_prefers_fast_workers_on_reliable_platform() {
+        let f = heterogeneous_reliable(2);
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        let a = build_incremental(&mut ctx, &f.view(), PassiveKind::IE).unwrap();
+        // With no communication cost and 2 tasks, the two fastest workers
+        // (speeds 1 and 2) minimize max(x_q w_q): one task each, or both on the
+        // speed-1 worker (workload 2 either way); it must not use worker 3 (speed 4).
+        assert_eq!(a.total_tasks(), 2);
+        assert!(!a.contains(3));
+        assert_eq!(a.workload(&f.platform), 2);
+    }
+
+    #[test]
+    fn all_kinds_produce_valid_assignments() {
+        let f = heterogeneous_reliable(5);
+        for kind in PassiveKind::ALL {
+            let mut ctx = SchedulingContext::with_default_epsilon();
+            let a = build_incremental(&mut ctx, &f.view(), kind)
+                .unwrap_or_else(|| panic!("{kind:?} failed to build"));
+            assert!(a.validate(&f.platform, &f.application).is_ok(), "{kind:?}");
+            for &(q, _) in a.entries() {
+                assert!(f.view().is_up(q));
+            }
+        }
+    }
+
+    #[test]
+    fn ip_prefers_reliable_workers() {
+        // Worker 0: fast but failure-prone; worker 1: slower but never fails.
+        // (Worker 0 needs 2 slots, so its success is not guaranteed.)
+        let platform = Platform::new(
+            vec![WorkerSpec::new(2), WorkerSpec::new(3)],
+            vec![
+                MarkovChain3::from_self_loop_probs(0.90, 0.90, 0.90).unwrap(),
+                MarkovChain3::always_up(),
+            ],
+        );
+        let f = Fixture {
+            platform,
+            application: ApplicationSpec::new(1, 10),
+            master: MasterSpec::from_slots(2, 0, 0),
+            workers: vec![
+                WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() };
+                2
+            ],
+        };
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        let ip = build_incremental(&mut ctx, &f.view(), PassiveKind::IP).unwrap();
+        assert!(ip.contains(1), "IP must pick the reliable worker");
+        let ie = build_incremental(&mut ctx, &f.view(), PassiveKind::IE).unwrap();
+        assert!(ie.contains(0), "IE must pick the fast worker");
+    }
+
+    #[test]
+    fn respects_capacity_and_reports_infeasible() {
+        // Two workers with capacity 1 each cannot hold 3 tasks.
+        let platform = Platform::new(
+            vec![WorkerSpec::with_capacity(1, 1), WorkerSpec::with_capacity(2, 1)],
+            vec![MarkovChain3::always_up(); 2],
+        );
+        let f = Fixture {
+            platform,
+            application: ApplicationSpec::new(3, 10),
+            master: MasterSpec::from_slots(2, 0, 0),
+            workers: vec![
+                WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() };
+                2
+            ],
+        };
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        assert!(build_incremental(&mut ctx, &f.view(), PassiveKind::IE).is_none());
+    }
+
+    #[test]
+    fn ignores_non_up_workers() {
+        let mut f = heterogeneous_reliable(2);
+        // The two fastest workers are unavailable.
+        f.workers[0].state = ProcState::Reclaimed;
+        f.workers[1].state = ProcState::Down;
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        let a = build_incremental(&mut ctx, &f.view(), PassiveKind::IE).unwrap();
+        assert!(!a.contains(0));
+        assert!(!a.contains(1));
+        assert_eq!(a.total_tasks(), 2);
+    }
+
+    #[test]
+    fn no_up_workers_yields_none_and_keepcurrent() {
+        let mut f = heterogeneous_reliable(2);
+        for w in f.workers.iter_mut() {
+            w.state = ProcState::Down;
+        }
+        let mut sched = PassiveScheduler::new(PassiveKind::IE);
+        assert_eq!(sched.decide(&f.view()), Decision::KeepCurrent);
+        assert_eq!(sched.name(), "IE");
+        assert_eq!(sched.kind(), PassiveKind::IE);
+    }
+
+    #[test]
+    fn passive_never_changes_an_active_configuration() {
+        let f = heterogeneous_reliable(2);
+        let assignment = Assignment::new([(3, 2)]); // deliberately poor choice
+        let cfg = dg_sim::config::ActiveConfiguration::new(assignment, &f.platform, 0);
+        let view = SimView { current: Some(&cfg), ..f.view() };
+        let mut sched = PassiveScheduler::new(PassiveKind::IE);
+        assert_eq!(sched.decide(&view), Decision::KeepCurrent);
+    }
+
+    #[test]
+    fn kind_parsing_and_names() {
+        for kind in PassiveKind::ALL {
+            let parsed: PassiveKind = kind.paper_name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("XYZ".parse::<PassiveKind>().is_err());
+    }
+}

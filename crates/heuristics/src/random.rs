@@ -1,0 +1,155 @@
+//! The RANDOM baseline heuristic.
+
+use dg_availability::rng::rng_from_seed;
+use dg_sim::view::{Decision, Scheduler, SimView};
+use dg_sim::Assignment;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// The paper's baseline: whenever a configuration is needed, each of the `m`
+/// tasks is assigned to an `UP` worker chosen uniformly at random (subject to
+/// the per-worker capacity `µ_q`).
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: SmallRng,
+    name: String,
+}
+
+impl RandomScheduler {
+    /// Create a RANDOM scheduler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { rng: rng_from_seed(seed), name: "RANDOM".to_string() }
+    }
+
+    fn build_random(&mut self, view: &SimView<'_>) -> Option<Assignment> {
+        let m = view.application.tasks_per_iteration;
+        let up = view.up_workers();
+        if up.is_empty() {
+            return None;
+        }
+        let mut counts = vec![0usize; view.platform.num_workers()];
+        for _ in 0..m {
+            let eligible: Vec<usize> = up
+                .iter()
+                .copied()
+                .filter(|&q| view.platform.worker(q).can_hold(counts[q] + 1))
+                .collect();
+            let &q = eligible.choose(&mut self.rng)?;
+            counts[q] += 1;
+        }
+        Some(Assignment::new(
+            counts.into_iter().enumerate().filter(|&(_, c)| c > 0),
+        ))
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Decision {
+        if view.current.is_some() {
+            return Decision::KeepCurrent;
+        }
+        match self.build_random(view) {
+            Some(a) => Decision::NewConfiguration(a),
+            None => Decision::KeepCurrent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_availability::{MarkovChain3, ProcState};
+    use dg_platform::{ApplicationSpec, MasterSpec, Platform, WorkerSpec};
+    use dg_sim::view::WorkerView;
+    use dg_sim::worker_state::WorkerDynamicState;
+
+    fn fixture(states: &[ProcState]) -> (Platform, ApplicationSpec, MasterSpec, Vec<WorkerView>) {
+        let p = states.len();
+        (
+            Platform::new(
+                (1..=p as u64).map(WorkerSpec::new).collect(),
+                vec![MarkovChain3::always_up(); p],
+            ),
+            ApplicationSpec::new(4, 10),
+            MasterSpec::from_slots(2, 1, 1),
+            states
+                .iter()
+                .map(|&s| WorkerView { state: s, dynamic: WorkerDynamicState::fresh() })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn random_assignment_is_valid_and_only_uses_up_workers() {
+        let (platform, application, master, workers) =
+            fixture(&[ProcState::Up, ProcState::Down, ProcState::Up, ProcState::Reclaimed]);
+        let view = SimView {
+            time: 0,
+            iteration: 0,
+            completed_iterations: 0,
+            iteration_started_at: 0,
+            workers: &workers,
+            platform: &platform,
+            application: &application,
+            master: &master,
+            current: None,
+        };
+        let mut sched = RandomScheduler::new(7);
+        assert_eq!(sched.name(), "RANDOM");
+        for _ in 0..50 {
+            match sched.decide(&view) {
+                Decision::NewConfiguration(a) => {
+                    assert!(a.validate(&platform, &application).is_ok());
+                    assert!(!a.contains(1));
+                    assert!(!a.contains(3));
+                }
+                Decision::KeepCurrent => panic!("feasible view must yield a configuration"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let (platform, application, master, workers) =
+            fixture(&[ProcState::Up, ProcState::Up, ProcState::Up]);
+        let view = SimView {
+            time: 0,
+            iteration: 0,
+            completed_iterations: 0,
+            iteration_started_at: 0,
+            workers: &workers,
+            platform: &platform,
+            application: &application,
+            master: &master,
+            current: None,
+        };
+        let mut a = RandomScheduler::new(11);
+        let mut b = RandomScheduler::new(11);
+        for _ in 0..20 {
+            assert_eq!(a.decide(&view), b.decide(&view));
+        }
+    }
+
+    #[test]
+    fn no_up_workers_keeps_current() {
+        let (platform, application, master, workers) =
+            fixture(&[ProcState::Down, ProcState::Reclaimed]);
+        let view = SimView {
+            time: 0,
+            iteration: 0,
+            completed_iterations: 0,
+            iteration_started_at: 0,
+            workers: &workers,
+            platform: &platform,
+            application: &application,
+            master: &master,
+            current: None,
+        };
+        let mut sched = RandomScheduler::new(3);
+        assert_eq!(sched.decide(&view), Decision::KeepCurrent);
+    }
+}

@@ -1,0 +1,141 @@
+//! Registry of the paper's 17 heuristics by name.
+
+use crate::passive::{PassiveKind, PassiveScheduler};
+use crate::proactive::{ProactiveCriterion, ProactiveScheduler};
+use crate::random::RandomScheduler;
+use dg_sim::Scheduler;
+use serde::{Deserialize, Serialize};
+
+/// A parsed heuristic identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeuristicSpec {
+    /// The RANDOM baseline.
+    Random,
+    /// A passive heuristic (IP, IE, IY, IAY).
+    Passive(PassiveKind),
+    /// A proactive heuristic C-H.
+    Proactive(ProactiveCriterion, PassiveKind),
+}
+
+impl HeuristicSpec {
+    /// All 17 heuristics evaluated in the paper, in the order
+    /// RANDOM, the 4 passive heuristics, then the 12 proactive combinations.
+    pub fn all() -> Vec<HeuristicSpec> {
+        let mut specs = vec![HeuristicSpec::Random];
+        for kind in PassiveKind::ALL {
+            specs.push(HeuristicSpec::Passive(kind));
+        }
+        for criterion in ProactiveCriterion::ALL {
+            for kind in PassiveKind::ALL {
+                specs.push(HeuristicSpec::Proactive(criterion, kind));
+            }
+        }
+        specs
+    }
+
+    /// The paper's name for the heuristic (`"RANDOM"`, `"IE"`, `"Y-IE"`, …).
+    pub fn name(&self) -> String {
+        match self {
+            HeuristicSpec::Random => "RANDOM".to_string(),
+            HeuristicSpec::Passive(k) => k.paper_name().to_string(),
+            HeuristicSpec::Proactive(c, k) => format!("{}-{}", c.paper_letter(), k.paper_name()),
+        }
+    }
+
+    /// Parse a paper-style name.
+    pub fn parse(name: &str) -> Result<HeuristicSpec, String> {
+        let upper = name.trim().to_ascii_uppercase();
+        if upper == "RANDOM" {
+            return Ok(HeuristicSpec::Random);
+        }
+        if let Some((criterion, base)) = upper.split_once('-') {
+            let c: ProactiveCriterion = criterion.parse()?;
+            let k: PassiveKind = base.parse()?;
+            return Ok(HeuristicSpec::Proactive(c, k));
+        }
+        let k: PassiveKind = upper.parse()?;
+        Ok(HeuristicSpec::Passive(k))
+    }
+
+    /// `true` for the proactive heuristics.
+    pub fn is_proactive(&self) -> bool {
+        matches!(self, HeuristicSpec::Proactive(_, _))
+    }
+
+    /// Instantiate the scheduler. `seed` is only used by RANDOM; `epsilon` is
+    /// the precision of the Section V estimates.
+    pub fn build(&self, seed: u64, epsilon: f64) -> Box<dyn Scheduler> {
+        match *self {
+            HeuristicSpec::Random => Box::new(RandomScheduler::new(seed)),
+            HeuristicSpec::Passive(k) => Box::new(PassiveScheduler::with_epsilon(k, epsilon)),
+            HeuristicSpec::Proactive(c, k) => {
+                Box::new(ProactiveScheduler::with_epsilon(c, k, epsilon))
+            }
+        }
+    }
+}
+
+/// Names of all 17 heuristics, in registry order.
+pub fn all_heuristic_names() -> Vec<String> {
+    HeuristicSpec::all().iter().map(|s| s.name()).collect()
+}
+
+/// Build a heuristic from its paper name.
+pub fn build_heuristic(name: &str, seed: u64, epsilon: f64) -> Result<Box<dyn Scheduler>, String> {
+    Ok(HeuristicSpec::parse(name)?.build(seed, epsilon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_seventeen_heuristics() {
+        let all = HeuristicSpec::all();
+        assert_eq!(all.len(), 17);
+        let names = all_heuristic_names();
+        assert_eq!(names.len(), 17);
+        // No duplicates.
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 17);
+        // The paper's headline heuristics are present.
+        for expected in ["RANDOM", "IE", "IAY", "Y-IE", "P-IE", "E-IAY", "E-IY", "P-IP"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for spec in HeuristicSpec::all() {
+            let name = spec.name();
+            let parsed = HeuristicSpec::parse(&name).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        assert!(HeuristicSpec::parse("bogus").is_err());
+        assert!(HeuristicSpec::parse("Z-IE").is_err());
+        assert!(HeuristicSpec::parse("Y-XX").is_err());
+        // Case-insensitive.
+        assert_eq!(HeuristicSpec::parse("y-ie").unwrap(), HeuristicSpec::parse("Y-IE").unwrap());
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for spec in HeuristicSpec::all() {
+            let sched = spec.build(42, 1e-7);
+            assert_eq!(sched.name(), spec.name());
+        }
+        let byname = build_heuristic("Y-IE", 0, 1e-7).unwrap();
+        assert_eq!(byname.name(), "Y-IE");
+        assert!(build_heuristic("nope", 0, 1e-7).is_err());
+    }
+
+    #[test]
+    fn proactive_flag() {
+        assert!(HeuristicSpec::parse("Y-IE").unwrap().is_proactive());
+        assert!(!HeuristicSpec::parse("IE").unwrap().is_proactive());
+        assert!(!HeuristicSpec::Random.is_proactive());
+        assert_eq!(HeuristicSpec::all().iter().filter(|s| s.is_proactive()).count(), 12);
+    }
+}

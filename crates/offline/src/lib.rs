@@ -1,0 +1,35 @@
+//! # dg-offline
+//!
+//! The *off-line* version of the scheduling problem studied in Section IV of
+//! *"Scheduling Tightly-Coupled Applications on Heterogeneous Desktop Grids"*
+//! (Casanova, Dufossé, Robert, Vivien — HCW/IPDPS 2013): processor
+//! availability is known in advance, communication is free
+//! (`Tprog = Tdata = 0`) and the workers are identical (`w_q = w`).
+//!
+//! The paper proves that even this restricted problem is NP-hard, for both the
+//! `µ = 1` variant (OFF-LINE-COUPLED(µ=1): find `m` processors simultaneously
+//! `UP` during `w` common time-slots) and the `µ = ∞` variant
+//! (OFF-LINE-COUPLED(µ=∞): find, for some `k ≤ m`, `k` processors
+//! simultaneously `UP` during `⌈m/k⌉·w` common time-slots), by reduction from
+//! the Exact Node Cardinality Decision problem (ENCD) on bipartite graphs.
+//!
+//! This crate provides:
+//!
+//! * [`problem`] — the instance representation (an availability matrix);
+//! * [`exact`] — exponential-time exact solvers for both variants (practical
+//!   for the small instances used in tests and benches);
+//! * [`greedy`] — polynomial-time greedy heuristics;
+//! * [`encd`] — bipartite graphs, bi-clique checking and the two reductions of
+//!   Theorem 4.1, with machinery to verify them experimentally.
+
+#![warn(missing_docs)]
+
+pub mod encd;
+pub mod exact;
+pub mod greedy;
+pub mod problem;
+
+pub use encd::{BipartiteGraph, EncdInstance};
+pub use exact::{solve_mu1_exact, solve_mu_unbounded_exact};
+pub use greedy::{greedy_mu1, greedy_mu_unbounded};
+pub use problem::{OfflineInstance, OfflineSolution};

@@ -1,0 +1,195 @@
+//! Instance and solution representation of OFF-LINE-COUPLED.
+
+use dg_availability::trace::TraceSet;
+use serde::{Deserialize, Serialize};
+
+/// An OFF-LINE-COUPLED instance: a boolean availability matrix (`up[q][t]` is
+/// `true` when processor `q` is `UP` at time-slot `t`), the per-task work `w`
+/// (identical processors) and the number of tasks `m` per iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfflineInstance {
+    /// `up[q][t]`: processor `q` is `UP` at slot `t`.
+    pub up: Vec<Vec<bool>>,
+    /// Time-slots of simultaneous `UP` time needed per task (`w_q = w`).
+    pub w: u64,
+    /// Number of tasks per iteration.
+    pub m: usize,
+}
+
+impl OfflineInstance {
+    /// Build an instance from an explicit matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is empty or ragged, or if `w` or `m` is zero.
+    pub fn new(up: Vec<Vec<bool>>, w: u64, m: usize) -> Self {
+        assert!(!up.is_empty(), "an instance needs at least one processor");
+        let horizon = up[0].len();
+        assert!(horizon > 0, "an instance needs at least one time-slot");
+        assert!(up.iter().all(|row| row.len() == horizon), "availability matrix must be rectangular");
+        assert!(w > 0, "per-task work w must be positive");
+        assert!(m > 0, "the iteration must contain at least one task");
+        OfflineInstance { up, w, m }
+    }
+
+    /// Build an instance from availability traces: a processor counts as
+    /// available at `t` exactly when its trace says `UP`.
+    pub fn from_traces(traces: &TraceSet, horizon: u64, w: u64, m: usize) -> Self {
+        let up = (0..traces.num_procs())
+            .map(|q| (0..horizon).map(|t| traces.trace(q).state_at(t).is_up()).collect())
+            .collect();
+        OfflineInstance::new(up, w, m)
+    }
+
+    /// Number of processors `p`.
+    pub fn num_procs(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Number of known time-slots `N`.
+    pub fn horizon(&self) -> usize {
+        self.up[0].len()
+    }
+
+    /// `true` if processor `q` is `UP` at slot `t`.
+    pub fn is_up(&self, q: usize, t: usize) -> bool {
+        self.up[q][t]
+    }
+
+    /// Time-slots during which *all* processors of `procs` are simultaneously
+    /// `UP`.
+    pub fn common_up_slots(&self, procs: &[usize]) -> Vec<usize> {
+        (0..self.horizon())
+            .filter(|&t| procs.iter().all(|&q| self.up[q][t]))
+            .collect()
+    }
+
+    /// Number of time-slots during which all processors of `procs` are `UP`.
+    pub fn common_up_count(&self, procs: &[usize]) -> usize {
+        (0..self.horizon()).filter(|&t| procs.iter().all(|&q| self.up[q][t])).count()
+    }
+
+    /// Slots of simultaneous `UP` time needed by `k` processors to run the
+    /// iteration when each can hold any number of tasks: `⌈m/k⌉·w`.
+    pub fn required_slots_for(&self, k: usize) -> u64 {
+        assert!(k > 0);
+        (self.m as u64).div_ceil(k as u64) * self.w
+    }
+}
+
+/// A witness that an iteration can be executed: a set of processors and the
+/// common `UP` slots they use.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfflineSolution {
+    /// Enrolled processors.
+    pub processors: Vec<usize>,
+    /// Time-slots (strictly increasing) during which they are all `UP`.
+    pub slots: Vec<usize>,
+}
+
+impl OfflineSolution {
+    /// Check that this solution is valid for `instance` under the `µ = 1`
+    /// rules: exactly `m` processors, at least `w` common `UP` slots.
+    pub fn is_valid_mu1(&self, instance: &OfflineInstance) -> bool {
+        self.processors.len() == instance.m
+            && self.slots.len() as u64 >= instance.w
+            && self.all_up(instance)
+    }
+
+    /// Check that this solution is valid under the `µ = ∞` rules: `k ≤ m`
+    /// processors and at least `⌈m/k⌉·w` common `UP` slots.
+    pub fn is_valid_mu_unbounded(&self, instance: &OfflineInstance) -> bool {
+        let k = self.processors.len();
+        k >= 1
+            && k <= instance.m
+            && self.slots.len() as u64 >= instance.required_slots_for(k)
+            && self.all_up(instance)
+    }
+
+    fn all_up(&self, instance: &OfflineInstance) -> bool {
+        let mut distinct = self.slots.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len() == self.slots.len()
+            && self
+                .slots
+                .iter()
+                .all(|&t| t < instance.horizon() && self.processors.iter().all(|&q| instance.up[q][t]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_availability::{ProcState, StateTrace};
+
+    fn small_instance() -> OfflineInstance {
+        // 3 processors, 4 slots.
+        OfflineInstance::new(
+            vec![
+                vec![true, true, false, true],
+                vec![true, false, true, true],
+                vec![true, true, true, false],
+            ],
+            1,
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors_and_common_slots() {
+        let inst = small_instance();
+        assert_eq!(inst.num_procs(), 3);
+        assert_eq!(inst.horizon(), 4);
+        assert!(inst.is_up(0, 0));
+        assert!(!inst.is_up(0, 2));
+        assert_eq!(inst.common_up_slots(&[0, 1]), vec![0, 3]);
+        assert_eq!(inst.common_up_count(&[0, 1, 2]), 1);
+        assert_eq!(inst.common_up_slots(&[]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn required_slots_balanced_assignment() {
+        let inst = OfflineInstance::new(vec![vec![true; 10]; 4], 3, 5);
+        assert_eq!(inst.required_slots_for(1), 15);
+        assert_eq!(inst.required_slots_for(2), 9);
+        assert_eq!(inst.required_slots_for(3), 6);
+        assert_eq!(inst.required_slots_for(5), 3);
+    }
+
+    #[test]
+    fn from_traces_uses_up_only() {
+        let traces = TraceSet::new(vec![
+            StateTrace::parse("URDU").unwrap(),
+            StateTrace::constant(ProcState::Up, 4),
+        ]);
+        let inst = OfflineInstance::from_traces(&traces, 4, 2, 1);
+        assert_eq!(inst.up[0], vec![true, false, false, true]);
+        assert_eq!(inst.up[1], vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn solution_validation() {
+        let inst = small_instance();
+        let good = OfflineSolution { processors: vec![0, 1], slots: vec![0] };
+        assert!(good.is_valid_mu1(&inst));
+        // Wrong processor count for µ=1.
+        let wrong_count = OfflineSolution { processors: vec![0], slots: vec![0] };
+        assert!(!wrong_count.is_valid_mu1(&inst));
+        // µ=∞: a single processor needs m·w = 2 slots.
+        assert!(!wrong_count.is_valid_mu_unbounded(&inst));
+        let single_ok = OfflineSolution { processors: vec![0], slots: vec![0, 1] };
+        assert!(single_ok.is_valid_mu_unbounded(&inst));
+        // A slot where some processor is not UP is rejected.
+        let bad_slot = OfflineSolution { processors: vec![0, 1], slots: vec![1] };
+        assert!(!bad_slot.is_valid_mu1(&inst));
+        // Duplicate slots are rejected.
+        let dup = OfflineSolution { processors: vec![0], slots: vec![0, 0] };
+        assert!(!dup.is_valid_mu_unbounded(&inst));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_matrix_rejected() {
+        let _ = OfflineInstance::new(vec![vec![true, true], vec![true]], 1, 1);
+    }
+}

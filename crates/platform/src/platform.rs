@@ -1,0 +1,154 @@
+//! The platform: workers and their availability chains.
+
+use crate::worker::WorkerSpec;
+use dg_availability::MarkovChain3;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A desktop-grid platform: `p` volatile workers, each with a static
+/// specification ([`WorkerSpec`]) and a 3-state Markov availability chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    workers: Vec<WorkerSpec>,
+    chains: Vec<MarkovChain3>,
+}
+
+impl Platform {
+    /// Build a platform from matching worker and chain lists.
+    ///
+    /// # Panics
+    /// Panics if the two lists have different lengths or are empty.
+    pub fn new(workers: Vec<WorkerSpec>, chains: Vec<MarkovChain3>) -> Self {
+        assert_eq!(
+            workers.len(),
+            chains.len(),
+            "each worker needs exactly one availability chain"
+        );
+        assert!(!workers.is_empty(), "a platform needs at least one worker");
+        Platform { workers, chains }
+    }
+
+    /// Build a homogeneous, perfectly reliable platform (useful for tests):
+    /// `p` workers of speed `speed`, always `UP`.
+    pub fn reliable_homogeneous(p: usize, speed: u64) -> Self {
+        Platform::new(
+            vec![WorkerSpec::new(speed); p],
+            vec![MarkovChain3::always_up(); p],
+        )
+    }
+
+    /// Sample a platform following the paper's Section VII-A methodology:
+    /// `p` workers with speed `w_q` drawn uniformly in `[wmin, 10·wmin]` and
+    /// availability chains with self-loop probabilities uniform in
+    /// `[0.90, 0.99]` (remaining mass split evenly).
+    pub fn sample_paper_model<R: Rng + ?Sized>(p: usize, wmin: u64, rng: &mut R) -> Self {
+        assert!(p > 0, "a platform needs at least one worker");
+        assert!(wmin > 0, "wmin must be at least 1");
+        let workers = (0..p)
+            .map(|_| WorkerSpec::new(rng.gen_range(wmin..=10 * wmin)))
+            .collect();
+        let chains = (0..p).map(|_| MarkovChain3::sample_paper_model(rng)).collect();
+        Platform::new(workers, chains)
+    }
+
+    /// Number of workers `p`.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Specification of worker `q`.
+    pub fn worker(&self, q: usize) -> &WorkerSpec {
+        &self.workers[q]
+    }
+
+    /// All worker specifications.
+    pub fn workers(&self) -> &[WorkerSpec] {
+        &self.workers
+    }
+
+    /// Availability chain of worker `q`.
+    pub fn chain(&self, q: usize) -> &MarkovChain3 {
+        &self.chains[q]
+    }
+
+    /// All availability chains.
+    pub fn chains(&self) -> &[MarkovChain3] {
+        &self.chains
+    }
+
+    /// Total task capacity `Σ_q µ_q` when `m` tasks exist (used to check the
+    /// feasibility condition `Σ µ_q ≥ m`).
+    pub fn total_capacity(&self, m: usize) -> usize {
+        self.workers.iter().map(|w| w.capacity_for(m)).sum()
+    }
+
+    /// Index of the fastest worker (smallest `w_q`); ties broken by index.
+    pub fn fastest_worker(&self) -> usize {
+        self.workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.speed)
+            .map(|(q, _)| q)
+            .expect("platform is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_availability::rng::rng_from_seed;
+    use dg_availability::ProcState;
+
+    #[test]
+    fn reliable_homogeneous_platform() {
+        let p = Platform::reliable_homogeneous(4, 3);
+        assert_eq!(p.num_workers(), 4);
+        assert_eq!(p.worker(0).speed, 3);
+        assert!(!p.chain(0).can_fail());
+        assert_eq!(p.total_capacity(7), 28);
+        assert_eq!(p.fastest_worker(), 0);
+    }
+
+    #[test]
+    fn paper_model_ranges() {
+        let mut rng = rng_from_seed(1);
+        let wmin = 3;
+        let p = Platform::sample_paper_model(20, wmin, &mut rng);
+        assert_eq!(p.num_workers(), 20);
+        for q in 0..20 {
+            let w = p.worker(q).speed;
+            assert!((wmin..=10 * wmin).contains(&w), "speed {w} outside [wmin, 10wmin]");
+            for s in ProcState::ALL {
+                let sl = p.chain(q).prob(s, s);
+                assert!((0.90..=0.99).contains(&sl));
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_worker_found() {
+        let workers = vec![WorkerSpec::new(5), WorkerSpec::new(2), WorkerSpec::new(9)];
+        let chains = vec![MarkovChain3::always_up(); 3];
+        let p = Platform::new(workers, chains);
+        assert_eq!(p.fastest_worker(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_rejected() {
+        let _ = Platform::new(vec![WorkerSpec::new(1)], vec![]);
+    }
+
+    #[test]
+    fn total_capacity_with_bounds() {
+        let workers = vec![
+            WorkerSpec::with_capacity(1, 2),
+            WorkerSpec::with_capacity(1, 3),
+            WorkerSpec::new(1),
+        ];
+        let chains = vec![MarkovChain3::always_up(); 3];
+        let p = Platform::new(workers, chains);
+        assert_eq!(p.total_capacity(4), 2 + 3 + 4);
+        assert_eq!(p.total_capacity(1), 1 + 1 + 1);
+    }
+}

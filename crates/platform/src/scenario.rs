@@ -1,0 +1,191 @@
+//! Experimental scenarios (Section VII-A methodology).
+//!
+//! An experimental *scenario* fixes everything that is random across the
+//! paper's experiment space except the realization of the availability Markov
+//! chains: the platform (worker speeds, availability parameters), the
+//! application, and the master's communication capacity. Multiple simulation
+//! *trials* of the same scenario then differ only by the random seed used to
+//! realize processor availability.
+
+use crate::application::ApplicationSpec;
+use crate::master::MasterSpec;
+use crate::platform::Platform;
+use dg_availability::rng::sub_rng;
+use dg_availability::trace::MarkovAvailability;
+use serde::{Deserialize, Serialize};
+
+/// The synthetic parameters that define one point of the paper's experiment
+/// space (Section VII-A): `(m, ncom, wmin)` plus the platform size `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Number of workers `p` (the paper uses 20).
+    pub num_workers: usize,
+    /// Number of tasks per iteration `m` (the paper uses 5 and 10).
+    pub tasks_per_iteration: usize,
+    /// Master communication bound `ncom` (the paper uses 5, 10 and 20).
+    pub ncom: usize,
+    /// Synthetic difficulty parameter `wmin` (the paper sweeps 1..=10):
+    /// worker speeds are drawn in `[wmin, 10·wmin]`, `Tdata = wmin` and
+    /// `Tprog = 5·wmin`.
+    pub wmin: u64,
+    /// Number of iterations to complete (the paper uses 10).
+    pub iterations: u64,
+}
+
+impl ScenarioParams {
+    /// The paper's defaults: `p = 20`, 10 iterations.
+    pub fn paper(m: usize, ncom: usize, wmin: u64) -> Self {
+        ScenarioParams {
+            num_workers: 20,
+            tasks_per_iteration: m,
+            ncom,
+            wmin,
+            iterations: 10,
+        }
+    }
+
+    /// The full experiment space of the paper:
+    /// `m ∈ {5, 10} × ncom ∈ {5, 10, 20} × wmin ∈ {1..10}`.
+    pub fn paper_experiment_space() -> Vec<ScenarioParams> {
+        let mut space = Vec::new();
+        for &m in &[5usize, 10] {
+            for &ncom in &[5usize, 10, 20] {
+                for wmin in 1..=10u64 {
+                    space.push(ScenarioParams::paper(m, ncom, wmin));
+                }
+            }
+        }
+        space
+    }
+}
+
+/// A fully instantiated experimental scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The parameters this scenario was generated from.
+    pub params: ScenarioParams,
+    /// The platform (worker speeds and availability chains).
+    pub platform: Platform,
+    /// The application (`m` tasks per iteration, iteration count).
+    pub application: ApplicationSpec,
+    /// The master's communication capacity (`ncom`, `Tprog`, `Tdata`).
+    pub master: MasterSpec,
+    /// Seed used to generate this scenario (for provenance).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Generate a scenario from parameters and a seed, following Section VII-A:
+    /// `w_q ~ U[wmin, 10·wmin]`, availability self-loop probabilities
+    /// `~ U[0.90, 0.99]` (remaining mass split evenly), `Tdata = wmin`,
+    /// `Tprog = 5·wmin`.
+    pub fn generate(params: ScenarioParams, seed: u64) -> Self {
+        let mut rng = sub_rng(seed, 0x504C_4154); // "PLAT" stream
+        let platform = Platform::sample_paper_model(params.num_workers, params.wmin, &mut rng);
+        let application = ApplicationSpec::new(params.tasks_per_iteration, params.iterations);
+        let master = MasterSpec::from_slots(params.ncom, 5 * params.wmin, params.wmin);
+        Scenario { params, platform, application, master, seed }
+    }
+
+    /// Build a scenario from explicit components (used by tests and examples
+    /// that need full control, e.g. the Figure 1 worked example).
+    pub fn from_parts(
+        platform: Platform,
+        application: ApplicationSpec,
+        master: MasterSpec,
+    ) -> Self {
+        let params = ScenarioParams {
+            num_workers: platform.num_workers(),
+            tasks_per_iteration: application.tasks_per_iteration,
+            ncom: master.ncom,
+            wmin: master.t_data.max(1),
+            iterations: application.iterations,
+        };
+        Scenario { params, platform, application, master, seed: 0 }
+    }
+
+    /// `true` if the platform can hold the application at all
+    /// (`Σ_q µ_q ≥ m`, Section III-C).
+    pub fn is_feasible(&self) -> bool {
+        self.platform.total_capacity(self.application.tasks_per_iteration)
+            >= self.application.tasks_per_iteration
+    }
+
+    /// Create the availability realization for one simulation trial.
+    ///
+    /// Every worker starts `UP` at time 0 (as in the paper's example) unless
+    /// `random_start` is set, in which case initial states are drawn from each
+    /// chain's stationary distribution.
+    pub fn availability_for_trial(&self, trial_seed: u64, random_start: bool) -> MarkovAvailability {
+        MarkovAvailability::new(self.platform.chains().to_vec(), trial_seed, random_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_experiment_space_size() {
+        let space = ScenarioParams::paper_experiment_space();
+        assert_eq!(space.len(), 2 * 3 * 10);
+        assert!(space.iter().all(|p| p.num_workers == 20 && p.iterations == 10));
+    }
+
+    #[test]
+    fn generate_follows_paper_rules() {
+        let params = ScenarioParams::paper(5, 10, 3);
+        let s = Scenario::generate(params, 42);
+        assert_eq!(s.platform.num_workers(), 20);
+        assert_eq!(s.master.ncom, 10);
+        assert_eq!(s.master.t_data, 3);
+        assert_eq!(s.master.t_prog, 15);
+        assert_eq!(s.application.tasks_per_iteration, 5);
+        assert_eq!(s.application.iterations, 10);
+        assert!(s.is_feasible());
+        for q in 0..20 {
+            assert!((3..=30).contains(&s.platform.worker(q).speed));
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic_in_seed() {
+        let params = ScenarioParams::paper(10, 5, 2);
+        let a = Scenario::generate(params, 7);
+        let b = Scenario::generate(params, 7);
+        let c = Scenario::generate(params, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trial_availability_reproducible() {
+        use dg_availability::trace::AvailabilityModel;
+        let s = Scenario::generate(ScenarioParams::paper(5, 5, 1), 3);
+        let mut a = s.availability_for_trial(11, false);
+        let mut b = s.availability_for_trial(11, false);
+        for t in 0..200 {
+            for q in 0..s.platform.num_workers() {
+                assert_eq!(a.state(q, t), b.state(q, t));
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_feasibility() {
+        let platform = Platform::reliable_homogeneous(2, 1);
+        let app = ApplicationSpec::new(5, 1);
+        let master = MasterSpec::from_slots(2, 1, 1);
+        let s = Scenario::from_parts(platform, app, master);
+        assert!(s.is_feasible());
+
+        let workers = vec![crate::worker::WorkerSpec::with_capacity(1, 1); 2];
+        let chains = vec![dg_availability::MarkovChain3::always_up(); 2];
+        let tight = Scenario::from_parts(
+            Platform::new(workers, chains),
+            ApplicationSpec::new(5, 1),
+            MasterSpec::from_slots(2, 1, 1),
+        );
+        assert!(!tight.is_feasible());
+    }
+}

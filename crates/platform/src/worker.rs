@@ -1,0 +1,98 @@
+//! Worker (processor) specification.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one worker / processor `P_q`.
+///
+/// * `speed` is `w_q`: the number of time-slots the worker needs to compute
+///   one task when it stays `UP` (smaller is faster).
+/// * `max_tasks` is `µ_q`: the maximum number of tasks the worker can hold and
+///   execute concurrently (bounded by its memory). `None` means unbounded
+///   (the paper's `µ = +∞` case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkerSpec {
+    /// `w_q`: time-slots of `UP` time needed per task.
+    pub speed: u64,
+    /// `µ_q`: maximum number of concurrently held tasks (`None` = unbounded).
+    pub max_tasks: Option<usize>,
+}
+
+impl WorkerSpec {
+    /// A worker with speed `w_q` and unbounded task capacity.
+    pub fn new(speed: u64) -> Self {
+        assert!(speed > 0, "worker speed (w_q) must be at least one time-slot per task");
+        WorkerSpec { speed, max_tasks: None }
+    }
+
+    /// A worker with speed `w_q` and capacity `µ_q`.
+    pub fn with_capacity(speed: u64, max_tasks: usize) -> Self {
+        assert!(speed > 0, "worker speed (w_q) must be at least one time-slot per task");
+        assert!(max_tasks > 0, "worker capacity (µ_q) must be at least one task");
+        WorkerSpec { speed, max_tasks: Some(max_tasks) }
+    }
+
+    /// Effective capacity when `m` tasks exist in total: `min(µ_q, m)`.
+    pub fn capacity_for(&self, m: usize) -> usize {
+        match self.max_tasks {
+            Some(c) => c.min(m),
+            None => m,
+        }
+    }
+
+    /// Time-slots of simultaneous `UP` time needed to compute `x` tasks
+    /// (`x · w_q`), the per-worker contribution to the iteration's lock-step
+    /// computation length.
+    pub fn compute_slots(&self, tasks: usize) -> u64 {
+        self.speed * tasks as u64
+    }
+
+    /// `true` if the worker may be assigned `x` tasks.
+    pub fn can_hold(&self, tasks: usize) -> bool {
+        match self.max_tasks {
+            Some(c) => tasks <= c,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_worker() {
+        let w = WorkerSpec::new(3);
+        assert_eq!(w.speed, 3);
+        assert!(w.can_hold(1_000));
+        assert_eq!(w.capacity_for(10), 10);
+        assert_eq!(w.compute_slots(4), 12);
+    }
+
+    #[test]
+    fn bounded_worker() {
+        let w = WorkerSpec::with_capacity(2, 3);
+        assert!(w.can_hold(3));
+        assert!(!w.can_hold(4));
+        assert_eq!(w.capacity_for(10), 3);
+        assert_eq!(w.capacity_for(2), 2);
+        assert_eq!(w.compute_slots(3), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speed_rejected() {
+        let _ = WorkerSpec::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = WorkerSpec::with_capacity(1, 0);
+    }
+
+    #[test]
+    fn compute_slots_zero_tasks() {
+        let w = WorkerSpec::new(5);
+        assert_eq!(w.compute_slots(0), 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! The time-slot simulation engine.
+
+use crate::assignment::Assignment;
+use crate::config::ActiveConfiguration;
+use crate::events::{EventKind, EventLog};
+use crate::metrics::{SimOutcome, SimStats};
+use crate::view::{Decision, Scheduler, SimView, WorkerView};
+use crate::worker_state::WorkerDynamicState;
+use dg_availability::trace::AvailabilityModel;
+use dg_availability::ProcState;
+use dg_platform::{ApplicationSpec, MasterSpec, Platform, Scenario};
+
+/// Limits bounding a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationLimits {
+    /// Maximum number of time-slots to simulate before declaring the run
+    /// failed. The paper's evaluation uses 10⁶.
+    pub max_slots: u64,
+}
+
+impl Default for SimulationLimits {
+    fn default() -> Self {
+        SimulationLimits { max_slots: 1_000_000 }
+    }
+}
+
+impl SimulationLimits {
+    /// Limits with the given slot cap.
+    pub fn with_max_slots(max_slots: u64) -> Self {
+        assert!(max_slots > 0, "the slot cap must be positive");
+        SimulationLimits { max_slots }
+    }
+}
+
+/// The discrete-event (time-slot) simulator.
+///
+/// A `Simulator` owns the availability realization for one trial and is
+/// consumed by [`Simulator::run`], which drives a [`Scheduler`] until the
+/// application completes or the slot cap is reached.
+pub struct Simulator<A: AvailabilityModel> {
+    platform: Platform,
+    application: ApplicationSpec,
+    master: MasterSpec,
+    availability: A,
+    limits: SimulationLimits,
+    log_events: bool,
+}
+
+impl<A: AvailabilityModel> Simulator<A> {
+    /// Build a simulator from a scenario and an availability realization.
+    pub fn new(scenario: &Scenario, availability: A) -> Self {
+        Simulator::from_parts(
+            scenario.platform.clone(),
+            scenario.application,
+            scenario.master,
+            availability,
+        )
+    }
+
+    /// Build a simulator from explicit components.
+    pub fn from_parts(
+        platform: Platform,
+        application: ApplicationSpec,
+        master: MasterSpec,
+        availability: A,
+    ) -> Self {
+        assert_eq!(
+            availability.num_procs(),
+            platform.num_workers(),
+            "availability model and platform must describe the same workers"
+        );
+        assert!(
+            platform.total_capacity(application.tasks_per_iteration)
+                >= application.tasks_per_iteration,
+            "platform cannot hold the application: Σ µ_q < m"
+        );
+        Simulator {
+            platform,
+            application,
+            master,
+            availability,
+            limits: SimulationLimits::default(),
+            log_events: false,
+        }
+    }
+
+    /// Set the slot cap and other limits.
+    pub fn with_limits(mut self, limits: SimulationLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Enable or disable detailed event logging.
+    pub fn with_event_log(mut self, enabled: bool) -> Self {
+        self.log_events = enabled;
+        self
+    }
+
+    /// Run the simulation to completion (or to the slot cap) under `scheduler`.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> (SimOutcome, EventLog) {
+        let p = self.platform.num_workers();
+        let target = self.application.iterations;
+        let t_prog = self.master.t_prog;
+        let t_data = self.master.t_data;
+
+        let mut log = if self.log_events { EventLog::enabled() } else { EventLog::disabled() };
+        let mut dynamic = vec![WorkerDynamicState::fresh(); p];
+        let mut current: Option<ActiveConfiguration> = None;
+        let mut stats = SimStats::default();
+        let mut completed: u64 = 0;
+        let mut iteration_started_at: u64 = 0;
+        let mut makespan: Option<u64> = None;
+        let mut states: Vec<ProcState> = vec![ProcState::Up; p];
+
+        log.push(0, EventKind::IterationStarted { iteration: 0 });
+
+        let mut t: u64 = 0;
+        while t < self.limits.max_slots {
+            // 1. Read availability for this slot.
+            for (q, s) in states.iter_mut().enumerate() {
+                *s = self.availability.state(q, t);
+            }
+
+            // 2. Consequences of DOWN workers: they lose program, data and any
+            //    in-flight transfer; if one of them is enrolled, the whole
+            //    iteration restarts from scratch.
+            for q in 0..p {
+                if states[q].is_down() {
+                    dynamic[q].crash();
+                }
+            }
+            if let Some(cfg) = &current {
+                let failed: Vec<usize> = cfg
+                    .assignment
+                    .members()
+                    .into_iter()
+                    .filter(|&q| states[q].is_down())
+                    .collect();
+                if !failed.is_empty() {
+                    stats.iterations_aborted += 1;
+                    log.push(t, EventKind::IterationAborted { failed_workers: failed });
+                    current = None;
+                }
+            }
+
+            // 3. Ask the scheduler what to do.
+            let worker_views: Vec<WorkerView> = (0..p)
+                .map(|q| WorkerView { state: states[q], dynamic: dynamic[q] })
+                .collect();
+            let decision = {
+                let view = SimView {
+                    time: t,
+                    iteration: completed,
+                    completed_iterations: completed,
+                    iteration_started_at,
+                    workers: &worker_views,
+                    platform: &self.platform,
+                    application: &self.application,
+                    master: &self.master,
+                    current: current.as_ref(),
+                };
+                scheduler.decide(&view)
+            };
+
+            // 4. Apply the decision.
+            if let Decision::NewConfiguration(assignment) = decision {
+                let same =
+                    current.as_ref().map_or(false, |c| c.assignment == assignment);
+                if !same && !assignment.is_empty() {
+                    self.apply_new_configuration(
+                        assignment,
+                        &states,
+                        &mut dynamic,
+                        &mut current,
+                        &mut stats,
+                        &mut log,
+                        t,
+                    );
+                }
+            }
+
+            // 5. Execute the slot.
+            match current.as_mut() {
+                None => stats.idle_slots += 1,
+                Some(cfg) => {
+                    let ready = cfg.assignment.entries().iter().all(|&(q, x)| {
+                        dynamic[q].comm_slots_remaining(x, t_prog, t_data) == 0
+                    });
+                    if !ready {
+                        Self::run_communication_slot(
+                            cfg, &states, &mut dynamic, &self.master, &mut stats, &mut log, t,
+                        );
+                    } else {
+                        let all_up =
+                            cfg.assignment.entries().iter().all(|&(q, _)| states[q].is_up());
+                        if !all_up {
+                            stats.stalled_slots += 1;
+                            log.push(t, EventKind::ComputationSuspended);
+                        } else {
+                            let finished = cfg.advance_computation();
+                            stats.computation_slots += 1;
+                            log.push(
+                                t,
+                                EventKind::ComputationSlot {
+                                    done: cfg.computation_done,
+                                    workload: cfg.workload,
+                                },
+                            );
+                            if finished {
+                                log.push(t, EventKind::IterationCompleted { iteration: completed });
+                                completed += 1;
+                                scheduler.on_iteration_complete(completed);
+                                if completed == target {
+                                    makespan = Some(t + 1);
+                                } else {
+                                    for d in dynamic.iter_mut() {
+                                        d.new_iteration();
+                                    }
+                                    current = None;
+                                    iteration_started_at = t + 1;
+                                    log.push(
+                                        t + 1,
+                                        EventKind::IterationStarted { iteration: completed },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            t += 1;
+            if makespan.is_some() {
+                break;
+            }
+        }
+
+        log.push(t, EventKind::RunFinished { success: makespan.is_some() });
+        (
+            SimOutcome {
+                completed_iterations: completed,
+                target_iterations: target,
+                makespan,
+                simulated_slots: t,
+                stats,
+            },
+            log,
+        )
+    }
+
+    /// Install a new configuration selected by the scheduler.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_new_configuration(
+        &self,
+        assignment: Assignment,
+        states: &[ProcState],
+        dynamic: &mut [WorkerDynamicState],
+        current: &mut Option<ActiveConfiguration>,
+        stats: &mut SimStats,
+        log: &mut EventLog,
+        t: u64,
+    ) {
+        if let Err(e) = assignment.validate(&self.platform, &self.application) {
+            panic!("scheduler produced an invalid assignment at slot {t}: {e}");
+        }
+        for &(q, _) in assignment.entries() {
+            assert!(
+                states[q].is_up(),
+                "scheduler enrolled worker {q} at slot {t} but it is not UP"
+            );
+        }
+        let proactive = current.is_some();
+        if proactive {
+            stats.proactive_changes += 1;
+        }
+        // Workers leaving the configuration lose their in-flight transfer
+        // (interrupted communications restart from scratch); completed
+        // messages and the program are kept.
+        if let Some(old) = current.as_ref() {
+            for &(q, _) in old.assignment.entries() {
+                if !assignment.contains(q) {
+                    dynamic[q].abort_partial_transfer();
+                }
+            }
+        }
+        stats.configurations_selected += 1;
+        log.push(t, EventKind::ConfigurationSelected { assignment: assignment.clone(), proactive });
+        *current = Some(ActiveConfiguration::new(assignment, &self.platform, t));
+    }
+
+    /// Serve one slot of master bandwidth to enrolled workers that need data.
+    fn run_communication_slot(
+        cfg: &ActiveConfiguration,
+        states: &[ProcState],
+        dynamic: &mut [WorkerDynamicState],
+        master: &MasterSpec,
+        stats: &mut SimStats,
+        log: &mut EventLog,
+        t: u64,
+    ) {
+        let mut channels = master.ncom;
+        let mut any_transfer = false;
+        for &(q, x) in cfg.assignment.entries() {
+            if channels == 0 {
+                break;
+            }
+            if !states[q].is_up() {
+                continue;
+            }
+            if dynamic[q].comm_slots_remaining(x, master.t_prog, master.t_data) == 0 {
+                continue;
+            }
+            let receiving_program = !dynamic[q].has_program;
+            let message_done = dynamic[q].advance_transfer(master.t_prog, master.t_data);
+            stats.transfer_slots += 1;
+            any_transfer = true;
+            channels -= 1;
+            log.push(t, EventKind::TransferSlot { worker: q, program: receiving_program });
+            if message_done {
+                if receiving_program && dynamic[q].has_program {
+                    log.push(t, EventKind::ProgramReceived { worker: q });
+                } else {
+                    log.push(
+                        t,
+                        EventKind::DataReceived { worker: q, total_messages: dynamic[q].data_messages },
+                    );
+                }
+            }
+        }
+        if !any_transfer {
+            stats.stalled_slots += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedAssignmentScheduler;
+    use dg_availability::trace::ScriptedAvailability;
+    use dg_availability::MarkovChain3;
+    use dg_platform::WorkerSpec;
+
+    fn reliable_platform(p: usize, speed: u64) -> Platform {
+        Platform::reliable_homogeneous(p, speed)
+    }
+
+    fn always_up(p: usize, horizon: usize) -> ScriptedAvailability {
+        ScriptedAvailability::new(vec![
+            dg_availability::StateTrace::constant(ProcState::Up, horizon);
+            p
+        ])
+    }
+
+    #[test]
+    fn reliable_run_has_exact_makespan() {
+        // 3 workers, speed 2, 3 tasks (one each), Tprog=2, Tdata=1, ncom=3.
+        // Comm: each worker needs 3 slots, all in parallel -> 3 slots.
+        // Compute: 1 task * speed 2 -> 2 slots. Iteration = 5 slots; 2 iterations:
+        // second iteration needs no program (kept) -> comm 1 slot, compute 2 -> 3.
+        // Total = 8 slots.
+        let platform = reliable_platform(3, 2);
+        let app = ApplicationSpec::new(3, 2);
+        let master = MasterSpec::from_slots(3, 2, 1);
+        let availability = always_up(3, 10);
+        let assignment = Assignment::new([(0, 1), (1, 1), (2, 1)]);
+        let mut sched = FixedAssignmentScheduler::new(assignment);
+        let sim = Simulator::from_parts(platform, app, master, availability).with_event_log(true);
+        let (outcome, log) = sim.run(&mut sched);
+        assert!(outcome.success());
+        assert_eq!(outcome.makespan, Some(8));
+        assert_eq!(outcome.completed_iterations, 2);
+        assert_eq!(outcome.stats.iterations_aborted, 0);
+        assert_eq!(outcome.stats.computation_slots, 4);
+        // program (3 workers * 2) + data (3 workers * 1 * 2 iterations) = 12
+        assert_eq!(outcome.stats.transfer_slots, 12);
+        assert_eq!(log.iteration_completions().len(), 2);
+    }
+
+    #[test]
+    fn ncom_bound_serializes_communication() {
+        // Same as above but ncom = 1: the 3 workers' 3-slot downloads serialize
+        // -> 9 slots of comm for iteration 1, 3 for iteration 2, plus 2+2 compute.
+        let platform = reliable_platform(3, 2);
+        let app = ApplicationSpec::new(3, 2);
+        let master = MasterSpec::from_slots(1, 2, 1);
+        let availability = always_up(3, 30);
+        let assignment = Assignment::new([(0, 1), (1, 1), (2, 1)]);
+        let mut sched = FixedAssignmentScheduler::new(assignment);
+        let sim = Simulator::from_parts(platform, app, master, availability);
+        let (outcome, _) = sim.run(&mut sched);
+        assert_eq!(outcome.makespan, Some(9 + 2 + 3 + 2));
+    }
+
+    #[test]
+    fn reclaimed_worker_suspends_computation() {
+        // One worker, 1 task, speed 3, no communication. Worker is reclaimed for
+        // 2 slots in the middle: makespan = 3 + 2.
+        let platform = Platform::new(
+            vec![WorkerSpec::new(3)],
+            vec![MarkovChain3::always_up()],
+        );
+        let app = ApplicationSpec::new(1, 1);
+        let master = MasterSpec::from_slots(1, 0, 0);
+        let availability = ScriptedAvailability::from_codes(&["URRUUU"]);
+        let mut sched = FixedAssignmentScheduler::new(Assignment::new([(0, 1)]));
+        let sim = Simulator::from_parts(platform, app, master, availability).with_event_log(true);
+        let (outcome, log) = sim.run(&mut sched);
+        assert_eq!(outcome.makespan, Some(5));
+        assert_eq!(outcome.stats.stalled_slots, 2);
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ComputationSuspended)));
+    }
+
+    #[test]
+    fn down_worker_restarts_iteration_from_scratch() {
+        // One worker, 1 task, speed 2, no communication. It goes DOWN at slot 1
+        // after one slot of computation: that progress is lost and the iteration
+        // restarts when it is UP again.
+        let platform = Platform::new(vec![WorkerSpec::new(2)], vec![MarkovChain3::always_up()]);
+        let app = ApplicationSpec::new(1, 1);
+        let master = MasterSpec::from_slots(1, 0, 0);
+        let availability = ScriptedAvailability::from_codes(&["UDUUU"]);
+        let mut sched = FixedAssignmentScheduler::new(Assignment::new([(0, 1)]));
+        let sim = Simulator::from_parts(platform, app, master, availability).with_event_log(true);
+        let (outcome, log) = sim.run(&mut sched);
+        // slot 0: compute (1/2); slot 1: DOWN -> abort; slot 2: re-enroll+compute;
+        // slot 3: compute -> done at end of slot 3 -> makespan 4.
+        assert_eq!(outcome.makespan, Some(4));
+        assert_eq!(outcome.stats.iterations_aborted, 1);
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::IterationAborted { .. })));
+    }
+
+    #[test]
+    fn down_worker_loses_program_and_data() {
+        // Tprog=2, Tdata=1, one worker, 1 task, speed 1.
+        // Slots 0-2: download program+data; slot 3: DOWN (loses everything);
+        // slots 4-6: re-download; slot 7: compute. Makespan 8.
+        let platform = Platform::new(vec![WorkerSpec::new(1)], vec![MarkovChain3::always_up()]);
+        let app = ApplicationSpec::new(1, 1);
+        let master = MasterSpec::from_slots(1, 2, 1);
+        let availability = ScriptedAvailability::from_codes(&["UUUDUUUUU"]);
+        let mut sched = FixedAssignmentScheduler::new(Assignment::new([(0, 1)]));
+        let sim = Simulator::from_parts(platform, app, master, availability);
+        let (outcome, _) = sim.run(&mut sched);
+        assert_eq!(outcome.makespan, Some(8));
+        assert_eq!(outcome.stats.transfer_slots, 6);
+    }
+
+    #[test]
+    fn failed_run_reports_cap() {
+        // The only worker is always DOWN after slot 0 -> the run cannot finish.
+        let platform = Platform::new(vec![WorkerSpec::new(1)], vec![MarkovChain3::always_up()]);
+        let app = ApplicationSpec::new(1, 1);
+        let master = MasterSpec::from_slots(1, 1, 1);
+        let availability = ScriptedAvailability::from_codes(&["UD"]);
+        let mut sched = FixedAssignmentScheduler::new(Assignment::new([(0, 1)]));
+        let sim = Simulator::from_parts(platform, app, master, availability)
+            .with_limits(SimulationLimits::with_max_slots(100));
+        let (outcome, _) = sim.run(&mut sched);
+        assert!(!outcome.success());
+        assert_eq!(outcome.simulated_slots, 100);
+        assert_eq!(outcome.completed_iterations, 0);
+    }
+
+    #[test]
+    fn program_is_kept_across_iterations_but_data_is_not() {
+        // 1 worker, 2 tasks (both on it), 2 iterations, Tprog=3, Tdata=2, speed 1.
+        // Iter 1: comm 3 + 2*2 = 7, compute 2 -> 9 slots.
+        // Iter 2: comm 2*2 = 4 (program kept), compute 2 -> 6 slots. Total 15.
+        let platform = Platform::new(vec![WorkerSpec::new(1)], vec![MarkovChain3::always_up()]);
+        let app = ApplicationSpec::new(2, 2);
+        let master = MasterSpec::from_slots(1, 3, 2);
+        let availability = always_up(1, 30);
+        let mut sched = FixedAssignmentScheduler::new(Assignment::new([(0, 2)]));
+        let sim = Simulator::from_parts(platform, app, master, availability);
+        let (outcome, _) = sim.run(&mut sched);
+        assert_eq!(outcome.makespan, Some(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid assignment")]
+    fn invalid_assignment_panics() {
+        let platform = reliable_platform(2, 1);
+        let app = ApplicationSpec::new(3, 1);
+        let master = MasterSpec::from_slots(1, 0, 0);
+        let availability = always_up(2, 10);
+        // Assignment only places 2 of the 3 tasks.
+        let mut sched = FixedAssignmentScheduler::new(Assignment::new([(0, 1), (1, 1)]));
+        let sim = Simulator::from_parts(platform, app, master, availability);
+        let _ = sim.run(&mut sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "Σ µ_q < m")]
+    fn infeasible_application_rejected() {
+        let platform = Platform::new(
+            vec![WorkerSpec::with_capacity(1, 1)],
+            vec![MarkovChain3::always_up()],
+        );
+        let app = ApplicationSpec::new(2, 1);
+        let master = MasterSpec::from_slots(1, 0, 0);
+        let availability = always_up(1, 10);
+        let _ = Simulator::from_parts(platform, app, master, availability);
+    }
+}

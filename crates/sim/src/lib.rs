@@ -1,0 +1,46 @@
+//! # dg-sim
+//!
+//! Time-slot discrete-event simulator for tightly-coupled iterative
+//! master–worker applications on volatile desktop grids, implementing the
+//! execution model of Section III of *"Scheduling Tightly-Coupled Applications
+//! on Heterogeneous Desktop Grids"* (Casanova, Dufossé, Robert, Vivien —
+//! HCW/IPDPS 2013).
+//!
+//! The simulator advances time one slot at a time. At every slot it:
+//!
+//! 1. reads the availability state of every worker from an
+//!    [`dg_availability::AvailabilityModel`];
+//! 2. applies the consequences of `DOWN` workers (loss of program, data and
+//!    any partially completed iteration);
+//! 3. consults a [`Scheduler`] (implemented in `dg-heuristics`), which may keep
+//!    the current configuration or select a new one;
+//! 4. executes the slot: allocates the master's bounded multi-port bandwidth
+//!    (`ncom` simultaneous transfers) to enrolled `UP` workers that still need
+//!    the program or task data, or — once every enrolled worker has everything —
+//!    advances the lock-step computation by one slot when *all* enrolled
+//!    workers are simultaneously `UP`.
+//!
+//! An iteration completes once `max_q x_q·w_q` slots of simultaneous
+//! computation have been accumulated; the application completes after the
+//! configured number of iterations. Runs are bounded by a configurable
+//! time-slot cap (the paper uses 10⁶) after which the run is declared failed.
+
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod config;
+pub mod engine;
+pub mod events;
+pub mod fixed;
+pub mod metrics;
+pub mod view;
+pub mod worker_state;
+
+pub use assignment::Assignment;
+pub use fixed::FixedAssignmentScheduler;
+pub use config::ActiveConfiguration;
+pub use engine::{SimulationLimits, Simulator};
+pub use events::{Event, EventKind, EventLog};
+pub use metrics::{SimOutcome, SimStats};
+pub use view::{Decision, Scheduler, SimView, WorkerView};
+pub use worker_state::WorkerDynamicState;

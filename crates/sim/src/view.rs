@@ -1,0 +1,209 @@
+//! The scheduler-facing view of the simulation and the scheduler interface.
+
+use crate::assignment::Assignment;
+use crate::config::ActiveConfiguration;
+use crate::worker_state::WorkerDynamicState;
+use dg_availability::ProcState;
+use dg_platform::{ApplicationSpec, MasterSpec, Platform};
+
+/// Per-worker information visible to the scheduler at the current slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerView {
+    /// Availability state of the worker during the current slot.
+    pub state: ProcState,
+    /// What the worker currently holds (program, data, in-flight transfer).
+    pub dynamic: WorkerDynamicState,
+}
+
+/// A read-only snapshot handed to the scheduler once per time-slot.
+///
+/// The view deliberately exposes **no future availability information**: the
+/// on-line heuristics only see the present state of each worker, the static
+/// platform description (including the per-worker Markov chains, which are the
+/// published "availability statistics" the heuristics are allowed to use) and
+/// the progress of the current iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimView<'a> {
+    /// Current time-slot.
+    pub time: u64,
+    /// Index of the iteration currently being executed (0-based).
+    pub iteration: u64,
+    /// Number of iterations already completed.
+    pub completed_iterations: u64,
+    /// Time-slot at which the current iteration began (i.e., the slot after the
+    /// previous iteration completed, or 0).
+    pub iteration_started_at: u64,
+    /// Per-worker state for the current slot.
+    pub workers: &'a [WorkerView],
+    /// Static platform description (speeds, capacities, availability chains).
+    pub platform: &'a Platform,
+    /// Application description (`m`, iteration count).
+    pub application: &'a ApplicationSpec,
+    /// Master communication capacity (`ncom`, `Tprog`, `Tdata`).
+    pub master: &'a MasterSpec,
+    /// The configuration currently executing the iteration, if any.
+    pub current: Option<&'a ActiveConfiguration>,
+}
+
+impl<'a> SimView<'a> {
+    /// Indices of the workers that are `UP` during the current slot.
+    pub fn up_workers(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.state.is_up())
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// `true` if worker `q` is `UP` during the current slot.
+    pub fn is_up(&self, q: usize) -> bool {
+        self.workers[q].state.is_up()
+    }
+
+    /// Number of slots already spent on the current iteration (the `t` of the
+    /// yield criterion `Y = P/(E + t)`).
+    pub fn elapsed_in_iteration(&self) -> u64 {
+        self.time - self.iteration_started_at
+    }
+
+    /// Communication slots worker `q` would still need to be ready to compute
+    /// `tasks` tasks, given what it already holds.
+    pub fn comm_slots_remaining(&self, q: usize, tasks: usize) -> u64 {
+        self.workers[q].dynamic.comm_slots_remaining(tasks, self.master.t_prog, self.master.t_data)
+    }
+
+    /// Per-member communication slots still needed for a candidate assignment.
+    pub fn comm_slots_for_assignment(&self, assignment: &Assignment) -> Vec<u64> {
+        assignment
+            .entries()
+            .iter()
+            .map(|&(q, x)| self.comm_slots_remaining(q, x))
+            .collect()
+    }
+
+    /// `true` if every member of the current configuration is `UP` and ready
+    /// (has the program and all its task data).
+    pub fn current_ready_to_compute(&self) -> bool {
+        match self.current {
+            None => false,
+            Some(c) => c.assignment.entries().iter().all(|&(q, x)| {
+                self.is_up(q) && self.comm_slots_remaining(q, x) == 0
+            }),
+        }
+    }
+}
+
+/// Scheduler decision for the current slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the current configuration (or stay idle if there is none).
+    KeepCurrent,
+    /// Select a new configuration. If it equals the current one the simulator
+    /// treats it as [`Decision::KeepCurrent`]; otherwise any partially
+    /// completed computation of the current iteration is lost.
+    NewConfiguration(Assignment),
+}
+
+/// The scheduling policy driven by the simulator.
+///
+/// The simulator calls [`Scheduler::decide`] exactly once per time-slot, before
+/// executing the slot. Implementations live in the `dg-heuristics` crate.
+pub trait Scheduler {
+    /// Human-readable name (e.g. `"Y-IE"`), used in reports.
+    fn name(&self) -> &str;
+
+    /// Decide what to do at the current slot.
+    fn decide(&mut self, view: &SimView<'_>) -> Decision;
+
+    /// Called when an iteration completes, so that stateful schedulers can
+    /// reset per-iteration bookkeeping. The default does nothing.
+    fn on_iteration_complete(&mut self, _completed: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_availability::MarkovChain3;
+    use dg_platform::WorkerSpec;
+
+    fn fixture() -> (Platform, ApplicationSpec, MasterSpec) {
+        (
+            Platform::new(
+                vec![WorkerSpec::new(1), WorkerSpec::new(2), WorkerSpec::new(3)],
+                vec![MarkovChain3::always_up(); 3],
+            ),
+            ApplicationSpec::new(3, 10),
+            MasterSpec::from_slots(2, 2, 1),
+        )
+    }
+
+    #[test]
+    fn view_helpers() {
+        let (platform, application, master) = fixture();
+        let workers = vec![
+            WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() },
+            WorkerView { state: ProcState::Reclaimed, dynamic: WorkerDynamicState::fresh() },
+            WorkerView {
+                state: ProcState::Up,
+                dynamic: WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() },
+            },
+        ];
+        let view = SimView {
+            time: 12,
+            iteration: 2,
+            completed_iterations: 2,
+            iteration_started_at: 9,
+            workers: &workers,
+            platform: &platform,
+            application: &application,
+            master: &master,
+            current: None,
+        };
+        assert_eq!(view.up_workers(), vec![0, 2]);
+        assert!(view.is_up(0));
+        assert!(!view.is_up(1));
+        assert_eq!(view.elapsed_in_iteration(), 3);
+        // worker 0 holds nothing: program (2) + 2 tasks (2*1) = 4
+        assert_eq!(view.comm_slots_remaining(0, 2), 4);
+        // worker 2 has program and one data message: 2 tasks -> 1 more message
+        assert_eq!(view.comm_slots_remaining(2, 2), 1);
+        let a = Assignment::new([(0, 1), (2, 2)]);
+        assert_eq!(view.comm_slots_for_assignment(&a), vec![3, 1]);
+        assert!(!view.current_ready_to_compute());
+    }
+
+    #[test]
+    fn ready_to_compute_requires_all_members_up_and_fed() {
+        let (platform, application, master) = fixture();
+        let ready = WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() };
+        let workers = vec![
+            WorkerView { state: ProcState::Up, dynamic: ready },
+            WorkerView { state: ProcState::Up, dynamic: ready },
+            WorkerView { state: ProcState::Reclaimed, dynamic: ready },
+        ];
+        let assignment = Assignment::new([(0, 1), (1, 1), (2, 1)]);
+        let config = ActiveConfiguration::new(assignment, &platform, 0);
+        let view = SimView {
+            time: 5,
+            iteration: 0,
+            completed_iterations: 0,
+            iteration_started_at: 0,
+            workers: &workers,
+            platform: &platform,
+            application: &application,
+            master: &master,
+            current: Some(&config),
+        };
+        // worker 2 is reclaimed -> not ready.
+        assert!(!view.current_ready_to_compute());
+
+        let workers_up = vec![
+            WorkerView { state: ProcState::Up, dynamic: ready },
+            WorkerView { state: ProcState::Up, dynamic: ready },
+            WorkerView { state: ProcState::Up, dynamic: ready },
+        ];
+        let view_up = SimView { workers: &workers_up, ..view };
+        assert!(view_up.current_ready_to_compute());
+    }
+}

@@ -1,0 +1,48 @@
+//! A small heuristic tournament: all 17 heuristics of the paper run on the
+//! same set of scenarios and are ranked by the paper's %diff metric against
+//! the reference heuristic IE. This is a miniature version of Table I that
+//! completes in well under a minute.
+//!
+//! ```text
+//! cargo run --release --example heuristic_tournament
+//! ```
+
+use desktop_grid_scheduling::experiments::campaign::{run_campaign, CampaignConfig};
+use desktop_grid_scheduling::experiments::tables::{render_table, table_comparison};
+use desktop_grid_scheduling::heuristics::HeuristicSpec;
+
+fn main() {
+    // A miniature campaign: one experiment point (m = 5, ncom = 10, wmin = 2),
+    // 2 scenarios x 2 trials, all 17 heuristics.
+    let config = CampaignConfig {
+        m_values: vec![5],
+        ncom_values: vec![10],
+        wmin_values: vec![2],
+        num_workers: 20,
+        iterations: 10,
+        scenarios_per_point: 2,
+        trials_per_scenario: 2,
+        max_slots: 100_000,
+        heuristics: HeuristicSpec::all(),
+        base_seed: 2013,
+        epsilon: 1e-7,
+        threads: 1,
+    };
+    eprintln!("running {} simulations...", config.total_runs());
+    let results = run_campaign(&config, |done, total| {
+        if done % 10 == 0 || done == total {
+            eprint!("\r  {done}/{total}");
+            if done == total {
+                eprintln!();
+            }
+        }
+    });
+
+    let refs: Vec<_> = results.results.iter().collect();
+    let comparison = table_comparison(&refs, "IE", &results.heuristic_names());
+    println!(
+        "{}",
+        render_table("Miniature tournament (m = 5, ncom = 10, wmin = 2):", &comparison)
+    );
+    println!("Negative %diff means the heuristic beats the reference IE on average.");
+}

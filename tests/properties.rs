@@ -1,0 +1,141 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use desktop_grid_scheduling::analysis::series::WorkerSeries;
+use desktop_grid_scheduling::analysis::GroupComputation;
+use desktop_grid_scheduling::availability::trace::AvailabilityModel;
+use desktop_grid_scheduling::experiments::runner::{run_instance, InstanceSpec};
+use desktop_grid_scheduling::heuristics::HeuristicSpec;
+use desktop_grid_scheduling::offline::{greedy_mu1, greedy_mu_unbounded, solve_mu1_exact, solve_mu_unbounded_exact, OfflineInstance};
+use desktop_grid_scheduling::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy for a valid paper-style Markov chain (self-loops in [0.5, 0.999]).
+fn markov_chain() -> impl Strategy<Value = MarkovChain3> {
+    (0.5f64..0.999, 0.5f64..0.999, 0.5f64..0.999)
+        .prop_map(|(u, r, d)| MarkovChain3::from_self_loop_probs(u, r, d).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn markov_chain_samples_only_valid_states(chain in markov_chain(), seed in 0u64..1000) {
+        let mut model = MarkovAvailability::new(vec![chain], seed, false);
+        for t in 0..200u64 {
+            let s = model.state(0, t);
+            prop_assert!(matches!(s, ProcState::Up | ProcState::Reclaimed | ProcState::Down));
+        }
+    }
+
+    #[test]
+    fn group_quantities_are_well_formed(
+        chains in proptest::collection::vec(markov_chain(), 1..6),
+        w in 1u64..40,
+    ) {
+        let series: Vec<WorkerSeries> = chains.iter().map(WorkerSeries::new).collect();
+        let refs: Vec<&WorkerSeries> = series.iter().collect();
+        let g = GroupComputation::new(1e-7).compute(&refs);
+        prop_assert!(g.p_plus >= 0.0 && g.p_plus <= 1.0);
+        prop_assert!(g.e_c >= 0.0);
+        let p = g.prob_success(w);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let e = g.expected_completion_time(w);
+        prop_assert!(e >= w as f64 - 1e-9);
+        // The paper's literal formula is never smaller than the renewal form.
+        prop_assert!(g.expected_completion_time_paper(w) >= e - 1e-9);
+    }
+
+    #[test]
+    fn adding_a_worker_never_raises_group_success_probability(
+        chains in proptest::collection::vec(markov_chain(), 2..6),
+        w in 2u64..30,
+    ) {
+        let series: Vec<WorkerSeries> = chains.iter().map(WorkerSeries::new).collect();
+        let comp = GroupComputation::new(1e-8);
+        for k in 1..series.len() {
+            let smaller: Vec<&WorkerSeries> = series[..k].iter().collect();
+            let larger: Vec<&WorkerSeries> = series[..k + 1].iter().collect();
+            let ps = comp.compute(&smaller).prob_success(w);
+            let pl = comp.compute(&larger).prob_success(w);
+            prop_assert!(pl <= ps + 1e-9, "P(success) grew from {ps} to {pl} when adding a worker");
+        }
+    }
+
+    #[test]
+    fn offline_solvers_agree_and_witnesses_are_valid(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 6..10), 2..6),
+        w in 1u64..4,
+    ) {
+        let horizon = rows.iter().map(|r| r.len()).min().unwrap();
+        let up: Vec<Vec<bool>> = rows.iter().map(|r| r[..horizon].to_vec()).collect();
+        let p = up.len();
+        let m = 1 + (w as usize % p.max(1));
+        let instance = OfflineInstance::new(up, w, m);
+
+        let exact1 = solve_mu1_exact(&instance);
+        if let Some(sol) = &exact1 {
+            prop_assert!(sol.is_valid_mu1(&instance));
+        }
+        if let Some(sol) = greedy_mu1(&instance) {
+            prop_assert!(sol.is_valid_mu1(&instance));
+            // greedy success implies exact success
+            prop_assert!(exact1.is_some());
+        }
+
+        let exact_inf = solve_mu_unbounded_exact(&instance);
+        if let Some(sol) = &exact_inf {
+            prop_assert!(sol.is_valid_mu_unbounded(&instance));
+        }
+        if let Some(sol) = greedy_mu_unbounded(&instance) {
+            prop_assert!(sol.is_valid_mu_unbounded(&instance));
+            prop_assert!(exact_inf.is_some());
+        }
+        // µ=∞ is a relaxation of µ=1.
+        if exact1.is_some() {
+            prop_assert!(exact_inf.is_some());
+        }
+    }
+}
+
+proptest! {
+    // End-to-end simulations are comparatively expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulator_outcomes_are_internally_consistent(
+        seed in 0u64..500,
+        wmin in 1u64..3,
+        heuristic_idx in 0usize..17,
+    ) {
+        let scenario = Scenario::generate(
+            ScenarioParams { num_workers: 12, tasks_per_iteration: 4, ncom: 6, wmin, iterations: 3 },
+            seed,
+        );
+        let heuristic = HeuristicSpec::all()[heuristic_idx];
+        let cap = 30_000;
+        let outcome = run_instance(
+            &scenario,
+            &InstanceSpec { scenario_index: 0, trial_index: 0, heuristic },
+            seed,
+            cap,
+            1e-6,
+        );
+        prop_assert!(outcome.simulated_slots <= cap);
+        prop_assert_eq!(outcome.target_iterations, 3);
+        prop_assert!(outcome.completed_iterations <= 3);
+        match outcome.makespan {
+            Some(ms) => {
+                prop_assert_eq!(outcome.completed_iterations, 3);
+                prop_assert!(ms <= cap);
+                prop_assert_eq!(ms, outcome.simulated_slots);
+            }
+            None => prop_assert!(outcome.completed_iterations < 3),
+        }
+        // Slot accounting: every simulated slot is idle, stalled, transfer or compute.
+        // (Transfer slots are per-worker, so they can exceed the wall-clock count;
+        // the remaining counters cannot.)
+        prop_assert!(outcome.stats.idle_slots + outcome.stats.stalled_slots
+            + outcome.stats.computation_slots <= outcome.simulated_slots);
+    }
+}
