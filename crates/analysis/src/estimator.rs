@@ -163,10 +163,7 @@ impl Estimator {
             success_probability *= self.no_down_within(q, horizon);
         }
 
-        CommEstimate {
-            expected_duration,
-            success_probability: success_probability.clamp(0.0, 1.0),
-        }
+        CommEstimate { expected_duration, success_probability: success_probability.clamp(0.0, 1.0) }
     }
 
     /// Full iteration estimate (communication followed by lock-step
@@ -186,12 +183,7 @@ impl Estimator {
         let comm = self.comm_estimate(members, comm_slots);
         let comp_e = self.expected_computation_time(members, w);
         let comp_p = self.computation_success_probability(members, w);
-        IterationEstimate::combine(
-            comm.expected_duration,
-            comm.success_probability,
-            comp_e,
-            comp_p,
-        )
+        IterationEstimate::combine(comm.expected_duration, comm.success_probability, comp_e, comp_p)
     }
 
     /// Number of distinct worker sets currently memoized (exposed for the

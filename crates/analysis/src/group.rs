@@ -167,8 +167,9 @@ impl GroupComputation {
             //   Σ_{s>t} Λ^s           = Λ^{t+1} / (1 − Λ)
             //   Σ_{s>t} s·Λ^s         = Λ^{t+1}·( (t+1)/(1−Λ) + Λ/(1−Λ)² )
             let tail_eu = lambda_pow * lambda / one_minus;
-            let tail_a =
-                lambda_pow * lambda * ((t + 1) as f64 / one_minus + lambda / (one_minus * one_minus));
+            let tail_a = lambda_pow
+                * lambda
+                * ((t + 1) as f64 / one_minus + lambda / (one_minus * one_minus));
             if (tail_eu <= self.epsilon && tail_a <= self.epsilon) || t >= MAX_SERIES_TERMS {
                 break;
             }
@@ -307,7 +308,7 @@ mod tests {
     #[test]
     fn expected_completion_time_at_least_w() {
         let comp = GroupComputation::default();
-        let workers = vec![series(0.95, 0.93, 0.9), series(0.92, 0.9, 0.96)];
+        let workers = [series(0.95, 0.93, 0.9), series(0.92, 0.9, 0.96)];
         let refs: Vec<&WorkerSeries> = workers.iter().collect();
         let g = comp.compute(&refs);
         for w in 1..50u64 {
@@ -336,18 +337,13 @@ mod tests {
                 g.p_plus,
                 p_ref
             );
-            assert!(
-                (g.e_c - ec_ref).abs() < 1e-3,
-                "E_c: closed {} vs reference {}",
-                g.e_c,
-                ec_ref
-            );
+            assert!((g.e_c - ec_ref).abs() < 1e-3, "E_c: closed {} vs reference {}", g.e_c, ec_ref);
         }
     }
 
     #[test]
     fn tighter_epsilon_never_reduces_terms() {
-        let workers = vec![series(0.97, 0.95, 0.96), series(0.96, 0.97, 0.95)];
+        let workers = [series(0.97, 0.95, 0.96), series(0.96, 0.97, 0.95)];
         let refs: Vec<&WorkerSeries> = workers.iter().collect();
         let loose = GroupComputation::new(1e-3).compute(&refs);
         let tight = GroupComputation::new(1e-12).compute(&refs);
@@ -357,7 +353,7 @@ mod tests {
 
     #[test]
     fn prob_success_decreases_with_workload() {
-        let workers = vec![series(0.95, 0.92, 0.9), series(0.93, 0.9, 0.94)];
+        let workers = [series(0.95, 0.92, 0.9), series(0.93, 0.9, 0.94)];
         let refs: Vec<&WorkerSeries> = workers.iter().collect();
         let g = GroupComputation::default().compute(&refs);
         let mut prev = 1.0;

@@ -138,12 +138,8 @@ impl MarkovChain3 {
 
     /// A chain for a processor that is always `UP` (never reclaimed, never down).
     pub fn always_up() -> Self {
-        MarkovChain3::new(Matrix3::new([
-            [1.0, 0.0, 0.0],
-            [1.0, 0.0, 0.0],
-            [1.0, 0.0, 0.0],
-        ]))
-        .expect("always-up matrix is stochastic")
+        MarkovChain3::new(Matrix3::new([[1.0, 0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]))
+            .expect("always-up matrix is stochastic")
     }
 
     /// A two-state chain (`UP`/`DOWN` only) embedded in the 3-state model:
@@ -288,10 +284,7 @@ mod tests {
         let bad = Matrix3::new([[0.5, 0.4, 0.0], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8]]);
         assert!(matches!(MarkovChain3::new(bad), Err(MarkovError::RowNotStochastic { .. })));
         let neg = Matrix3::new([[1.2, -0.2, 0.0], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8]]);
-        assert!(matches!(
-            MarkovChain3::new(neg),
-            Err(MarkovError::ProbabilityOutOfRange { .. })
-        ));
+        assert!(matches!(MarkovChain3::new(neg), Err(MarkovError::ProbabilityOutOfRange { .. })));
         assert!(MarkovChain3::from_self_loop_probs(1.5, 0.9, 0.9).is_err());
     }
 
@@ -317,10 +310,7 @@ mod tests {
         for t in 0..200u64 {
             let exact = c.up_to_up_avoiding_down(t);
             let closed = series.eval(t);
-            assert!(
-                approx(exact, closed, 1e-9),
-                "t={t}: exact={exact} closed={closed}"
-            );
+            assert!(approx(exact, closed, 1e-9), "t={t}: exact={exact} closed={closed}");
         }
         // t = 0 must give 1 (the processor is UP now).
         assert!(approx(series.eval(0), 1.0, 1e-12));
@@ -370,13 +360,13 @@ mod tests {
             counts[s.index()][next.index()] += 1;
             s = next;
         }
-        for i in 0..3 {
-            let row_total: u64 = counts[i].iter().sum();
+        for (i, row) in counts.iter().enumerate() {
+            let row_total: u64 = row.iter().sum();
             if row_total < 1000 {
                 continue;
             }
-            for j in 0..3 {
-                let emp = counts[i][j] as f64 / row_total as f64;
+            for (j, &count) in row.iter().enumerate() {
+                let emp = count as f64 / row_total as f64;
                 let theo = c.transition_matrix().m[i][j];
                 assert!(
                     approx(emp, theo, 0.02),

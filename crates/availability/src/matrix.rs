@@ -35,13 +35,13 @@ impl Matrix2 {
     /// Matrix product `self * rhs`.
     pub fn mul(&self, rhs: &Matrix2) -> Matrix2 {
         let mut out = [[0.0; 2]; 2];
-        for i in 0..2 {
-            for j in 0..2 {
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for k in 0..2 {
                     acc += self.m[i][k] * rhs.m[k][j];
                 }
-                out[i][j] = acc;
+                *cell = acc;
             }
         }
         Matrix2::new(out)
@@ -127,13 +127,13 @@ impl Matrix3 {
     /// Matrix product `self * rhs`.
     pub fn mul(&self, rhs: &Matrix3) -> Matrix3 {
         let mut out = [[0.0; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for k in 0..3 {
                     acc += self.m[i][k] * rhs.m[k][j];
                 }
-                out[i][j] = acc;
+                *cell = acc;
             }
         }
         Matrix3::new(out)
@@ -156,9 +156,9 @@ impl Matrix3 {
     /// Left-multiply a row vector: `v * self`.
     pub fn vec_mul(&self, v: [f64; 3]) -> [f64; 3] {
         let mut out = [0.0; 3];
-        for j in 0..3 {
+        for (j, cell) in out.iter_mut().enumerate() {
             for (i, &vi) in v.iter().enumerate() {
-                out[j] += vi * self.m[i][j];
+                *cell += vi * self.m[i][j];
             }
         }
         out

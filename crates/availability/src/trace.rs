@@ -99,13 +99,8 @@ impl MarkovAvailability {
             self.traces
                 .iter()
                 .map(|t| {
-                    let codes: Vec<ProcState> =
-                        (0..horizon).map(|s| t.state_at(s)).collect();
-                    StateTrace::new(if codes.is_empty() {
-                        vec![t.state_at(0)]
-                    } else {
-                        codes
-                    })
+                    let codes: Vec<ProcState> = (0..horizon).map(|s| t.state_at(s)).collect();
+                    StateTrace::new(if codes.is_empty() { vec![t.state_at(0)] } else { codes })
                 })
                 .collect(),
         )
@@ -311,9 +306,9 @@ mod tests {
             (0..4).map(|q| (0..100).map(|t| a.state(q, t)).collect()).collect();
         let set = a.materialize(100);
         assert_eq!(set.num_procs(), 4);
-        for q in 0..4 {
+        for (q, states) in expected.iter().enumerate() {
             for t in 0..100u64 {
-                assert_eq!(set.trace(q).state_at(t), expected[q][t as usize]);
+                assert_eq!(set.trace(q).state_at(t), states[t as usize]);
             }
         }
     }

@@ -3,12 +3,12 @@
 //! requested precision `ε` and of the set size `|S|`, plus the cost of the
 //! quadratic first-return reference used for validation.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dg_analysis::series::WorkerSeries;
 use dg_analysis::GroupComputation;
 use dg_availability::rng::rng_from_seed;
 use dg_availability::MarkovChain3;
+use std::time::Duration;
 
 fn paper_series(n: usize, seed: u64) -> Vec<WorkerSeries> {
     let mut rng = rng_from_seed(seed);

@@ -4,9 +4,9 @@
 //! runs. The full sweep is produced by
 //! `cargo run --release -p dg-experiments --bin figure2`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dg_bench::{bench_scenario, run_one};
+use std::time::Duration;
 
 fn figure2_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure2_wmin_sweep");

@@ -3,13 +3,13 @@
 //! (p = 20) for m = 5 and m = 10 tasks, for a passive heuristic, a proactive
 //! heuristic and the RANDOM baseline.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dg_availability::ProcState;
 use dg_bench::bench_scenario;
 use dg_heuristics::HeuristicSpec;
 use dg_sim::view::{SimView, WorkerView};
 use dg_sim::worker_state::WorkerDynamicState;
+use std::time::Duration;
 
 fn decision_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("heuristic_decision");

@@ -2,7 +2,6 @@
 //! exponential solvers vs polynomial greedy heuristics on random availability
 //! matrices, and the cost of the ENCD → OFF-LINE-COUPLED reductions.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dg_availability::rng::rng_from_seed;
 use dg_offline::{
@@ -10,8 +9,16 @@ use dg_offline::{
     EncdInstance, OfflineInstance,
 };
 use rand::Rng;
+use std::time::Duration;
 
-fn random_instance(p: usize, n: usize, density: f64, w: u64, m: usize, seed: u64) -> OfflineInstance {
+fn random_instance(
+    p: usize,
+    n: usize,
+    density: f64,
+    w: u64,
+    m: usize,
+    seed: u64,
+) -> OfflineInstance {
     let mut rng = rng_from_seed(seed);
     let up = (0..p).map(|_| (0..n).map(|_| rng.gen_bool(density)).collect()).collect();
     OfflineInstance::new(up, w, m)

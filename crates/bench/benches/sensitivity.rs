@@ -3,13 +3,13 @@
 //! (Weibull / log-normal) availability, plus the cost of generating the
 //! semi-Markov traces themselves.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_availability::semi_markov::SemiMarkovModel;
 use dg_bench::bench_scenario;
 use dg_experiments::sensitivity::matched_semi_markov_models;
 use dg_heuristics::HeuristicSpec;
-use dg_availability::semi_markov::SemiMarkovModel;
 use dg_sim::{SimulationLimits, Simulator};
+use std::time::Duration;
 
 fn markov_vs_semi_markov(c: &mut Criterion) {
     let scenario = bench_scenario(5, 10, 2, 3, 55);
@@ -24,32 +24,24 @@ fn markov_vs_semi_markov(c: &mut Criterion) {
         b.iter(|| SemiMarkovModel::generate_set(&models, cap, 9));
     });
     for heuristic in ["IE", "Y-IE"] {
-        group.bench_with_input(
-            BenchmarkId::new("markov", heuristic),
-            &heuristic,
-            |b, h| {
-                b.iter(|| {
-                    let availability = scenario.availability_for_trial(9, false);
-                    let mut sched = HeuristicSpec::parse(h).unwrap().build(9, 1e-7);
-                    Simulator::new(&scenario, availability)
-                        .with_limits(SimulationLimits::with_max_slots(cap))
-                        .run(sched.as_mut())
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("semi_markov", heuristic),
-            &heuristic,
-            |b, h| {
-                b.iter(|| {
-                    let traces = SemiMarkovModel::generate_set(&models, cap, 9);
-                    let mut sched = HeuristicSpec::parse(h).unwrap().build(9, 1e-7);
-                    Simulator::new(&scenario, traces)
-                        .with_limits(SimulationLimits::with_max_slots(cap))
-                        .run(sched.as_mut())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("markov", heuristic), &heuristic, |b, h| {
+            b.iter(|| {
+                let availability = scenario.availability_for_trial(9, false);
+                let mut sched = HeuristicSpec::parse(h).unwrap().build(9, 1e-7);
+                Simulator::new(&scenario, availability)
+                    .with_limits(SimulationLimits::with_max_slots(cap))
+                    .run(sched.as_mut())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("semi_markov", heuristic), &heuristic, |b, h| {
+            b.iter(|| {
+                let traces = SemiMarkovModel::generate_set(&models, cap, 9);
+                let mut sched = HeuristicSpec::parse(h).unwrap().build(9, 1e-7);
+                Simulator::new(&scenario, traces)
+                    .with_limits(SimulationLimits::with_max_slots(cap))
+                    .run(sched.as_mut())
+            });
+        });
     }
     group.finish();
 }

@@ -3,13 +3,13 @@
 //! negligible and the engine itself is what is measured), on a reliable and on
 //! a volatile platform.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dg_availability::rng::rng_from_seed;
 use dg_availability::trace::MarkovAvailability;
 use dg_availability::MarkovChain3;
 use dg_platform::{ApplicationSpec, MasterSpec, Platform};
 use dg_sim::{Assignment, FixedAssignmentScheduler, SimulationLimits, Simulator};
+use std::time::Duration;
 
 fn engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_throughput");
@@ -28,17 +28,21 @@ fn engine_throughput(c: &mut Criterion) {
     // Slots per run is deterministic; measure throughput in slots.
     let availability = MarkovAvailability::new(vec![MarkovChain3::always_up(); p], 1, false);
     let mut sched = FixedAssignmentScheduler::new(assignment.clone());
-    let (outcome, _) = Simulator::from_parts(platform.clone(), app, master, availability)
-        .run(&mut sched);
+    let (outcome, _) =
+        Simulator::from_parts(platform.clone(), app, master, availability).run(&mut sched);
     group.throughput(Throughput::Elements(outcome.simulated_slots));
     group.bench_function("reliable_20_workers", |b| {
         b.iter(|| {
             let availability =
                 MarkovAvailability::new(vec![MarkovChain3::always_up(); p], 1, false);
             let mut sched = FixedAssignmentScheduler::new(assignment.clone());
-            Simulator::from_parts(platform.clone(), ApplicationSpec::new(10, iterations),
-                MasterSpec::from_slots(5, 5, 1), availability)
-                .run(&mut sched)
+            Simulator::from_parts(
+                platform.clone(),
+                ApplicationSpec::new(10, iterations),
+                MasterSpec::from_slots(5, 5, 1),
+                availability,
+            )
+            .run(&mut sched)
         });
     });
 
@@ -46,10 +50,8 @@ fn engine_throughput(c: &mut Criterion) {
     let mut rng = rng_from_seed(5);
     let chains: Vec<MarkovChain3> =
         (0..p).map(|_| MarkovChain3::sample_paper_model(&mut rng)).collect();
-    let volatile_platform = Platform::new(
-        (0..p).map(|_| dg_platform::WorkerSpec::new(3)).collect(),
-        chains.clone(),
-    );
+    let volatile_platform =
+        Platform::new((0..p).map(|_| dg_platform::WorkerSpec::new(3)).collect(), chains.clone());
     group.bench_function("volatile_20_workers", |b| {
         b.iter(|| {
             let availability = MarkovAvailability::new(chains.clone(), 11, false);

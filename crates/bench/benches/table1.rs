@@ -3,9 +3,9 @@
 //! paper-style scenario. The full table is produced by
 //! `cargo run --release -p dg-experiments --bin table1`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dg_bench::{bench_scenario, run_one};
+use std::time::Duration;
 
 fn table1_slice(c: &mut Criterion) {
     let scenario = bench_scenario(5, 10, 2, 3, 42);

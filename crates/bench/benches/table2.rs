@@ -2,9 +2,9 @@
 //! campaign with the heuristics the paper reports for m = 10. The full table
 //! is produced by `cargo run --release -p dg-experiments --bin table2`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dg_bench::{bench_scenario, run_one};
+use std::time::Duration;
 
 fn table2_slice(c: &mut Criterion) {
     let scenario = bench_scenario(10, 10, 1, 3, 99);

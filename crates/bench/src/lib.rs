@@ -29,13 +29,7 @@ use dg_sim::{SimOutcome, SimulationLimits, Simulator};
 
 /// Build a small paper-style scenario used by several benches.
 pub fn bench_scenario(m: usize, ncom: usize, wmin: u64, iterations: u64, seed: u64) -> Scenario {
-    let params = ScenarioParams {
-        num_workers: 20,
-        tasks_per_iteration: m,
-        ncom,
-        wmin,
-        iterations,
-    };
+    let params = ScenarioParams { num_workers: 20, tasks_per_iteration: m, ncom, wmin, iterations };
     Scenario::generate(params, seed)
 }
 

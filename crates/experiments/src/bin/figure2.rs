@@ -12,8 +12,7 @@ use dg_experiments::figures::Figure;
 use dg_heuristics::HeuristicSpec;
 
 /// The eight heuristics plotted in the paper's Figure 2.
-const FIGURE2_HEURISTICS: [&str; 8] =
-    ["E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"];
+const FIGURE2_HEURISTICS: [&str; 8] = ["E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"];
 
 fn main() {
     let opts = match CliOptions::from_env() {

@@ -11,8 +11,7 @@ use dg_experiments::cli::{progress_reporter, CliOptions};
 use dg_experiments::figures::Figure;
 use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
 
-const FIGURE2_HEURISTICS: [&str; 8] =
-    ["E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"];
+const FIGURE2_HEURISTICS: [&str; 8] = ["E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"];
 
 fn main() {
     let opts = match CliOptions::from_env() {

@@ -22,11 +22,7 @@ fn main() {
     let heuristic_names =
         ["IE", "IAY", "IY", "IP", "Y-IE", "P-IE", "E-IAY", "RANDOM"].map(str::to_string);
     let config = SensitivityConfig {
-        points: opts
-            .wmin_values
-            .iter()
-            .map(|&wmin| ScenarioParams::paper(5, 10, wmin))
-            .collect(),
+        points: opts.wmin_values.iter().map(|&wmin| ScenarioParams::paper(5, 10, wmin)).collect(),
         scenarios_per_point: opts.scenarios,
         trials_per_scenario: opts.trials,
         max_slots: opts.max_slots,

@@ -5,8 +5,8 @@
 //! cargo run --release -p dg-experiments --bin table1 -- [--scenarios N] [--trials N] [--full]
 //! ```
 
-use dg_experiments::cli::{progress_reporter, CliOptions};
 use dg_experiments::campaign::run_campaign;
+use dg_experiments::cli::{progress_reporter, CliOptions};
 use dg_experiments::tables::{render_table, table_comparison};
 
 fn main() {

@@ -6,8 +6,8 @@
 //! cargo run --release -p dg-experiments --bin table2 -- [--scenarios N] [--trials N] [--full]
 //! ```
 
-use dg_experiments::cli::{progress_reporter, CliOptions};
 use dg_experiments::campaign::run_campaign;
+use dg_experiments::cli::{progress_reporter, CliOptions};
 use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
 
 fn main() {

@@ -5,9 +5,9 @@ use dg_availability::rng::derive_seed;
 use dg_heuristics::HeuristicSpec;
 use dg_platform::{Scenario, ScenarioParams};
 use dg_sim::SimOutcome;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of an experiment campaign.
 ///
@@ -200,47 +200,55 @@ where
     let done_runs = AtomicUsize::new(0);
     let results: Mutex<Vec<InstanceResult>> = Mutex::new(Vec::with_capacity(total_runs));
 
-    let num_threads = config.threads.max(1);
-    crossbeam::scope(|scope| {
-        for _ in 0..num_threads {
-            scope.spawn(|_| loop {
-                let job = next_job.fetch_add(1, Ordering::Relaxed);
-                if job >= jobs.len() {
-                    break;
+    // Fan the jobs out over `config.threads` scoped worker threads pulling
+    // from a shared atomic work queue. `std::thread::scope` lets the workers
+    // borrow `jobs`, `points` and `config` directly, and propagates any worker
+    // panic when the scope closes.
+    let num_threads = config.threads.max(1).min(jobs.len().max(1));
+    std::thread::scope(|scope| {
+        let worker = || loop {
+            let job = next_job.fetch_add(1, Ordering::Relaxed);
+            if job >= jobs.len() {
+                break;
+            }
+            let (point_index, scenario_index) = jobs[job];
+            let params = points[point_index];
+            let seed = scenario_seed(config.base_seed, point_index, scenario_index);
+            let scenario = Scenario::generate(params, seed);
+            let mut local = Vec::new();
+            for trial_index in 0..config.trials_per_scenario {
+                for heuristic in &config.heuristics {
+                    let spec = InstanceSpec { scenario_index, trial_index, heuristic: *heuristic };
+                    let outcome = run_instance(
+                        &scenario,
+                        &spec,
+                        config.base_seed,
+                        config.max_slots,
+                        config.epsilon,
+                    );
+                    local.push(InstanceResult {
+                        params,
+                        scenario_index,
+                        trial_index,
+                        heuristic: heuristic.name(),
+                        outcome,
+                    });
+                    let done = done_runs.fetch_add(1, Ordering::Relaxed) + 1;
+                    on_progress(done, total_runs);
                 }
-                let (point_index, scenario_index) = jobs[job];
-                let params = points[point_index];
-                let seed = scenario_seed(config.base_seed, point_index, scenario_index);
-                let scenario = Scenario::generate(params, seed);
-                let mut local = Vec::new();
-                for trial_index in 0..config.trials_per_scenario {
-                    for heuristic in &config.heuristics {
-                        let spec = InstanceSpec { scenario_index, trial_index, heuristic: *heuristic };
-                        let outcome = run_instance(
-                            &scenario,
-                            &spec,
-                            config.base_seed,
-                            config.max_slots,
-                            config.epsilon,
-                        );
-                        local.push(InstanceResult {
-                            params,
-                            scenario_index,
-                            trial_index,
-                            heuristic: heuristic.name(),
-                            outcome,
-                        });
-                        let done = done_runs.fetch_add(1, Ordering::Relaxed) + 1;
-                        on_progress(done, total_runs);
-                    }
-                }
-                results.lock().extend(local);
-            });
+            }
+            results.lock().expect("campaign results mutex poisoned").extend(local);
+        };
+        // The scope itself acts as the last worker, so `threads = 1` runs the
+        // whole campaign on the calling thread with no spawn at all.
+        for _ in 1..num_threads {
+            scope.spawn(worker);
         }
-    })
-    .expect("campaign worker thread panicked");
+        worker();
+    });
 
-    CampaignResults { config: config.clone(), results: results.into_inner() }
+    let results = results.into_inner().expect("campaign results mutex poisoned");
+    CampaignResults { config: config.clone(), results }
 }
 
 #[cfg(test)]
@@ -289,7 +297,8 @@ mod tests {
         let key = |r: &InstanceResult| {
             (r.params.wmin, r.scenario_index, r.trial_index, r.heuristic.clone())
         };
-        let mut s: Vec<_> = sequential.results.iter().map(|r| (key(r), r.outcome.clone())).collect();
+        let mut s: Vec<_> =
+            sequential.results.iter().map(|r| (key(r), r.outcome.clone())).collect();
         let mut p: Vec<_> = parallel.results.iter().map(|r| (key(r), r.outcome.clone())).collect();
         s.sort_by(|a, b| a.0.cmp(&b.0));
         p.sort_by(|a, b| a.0.cmp(&b.0));

@@ -113,11 +113,7 @@ fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String>
 }
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
-    value
-        .split(',')
-        .filter(|s| !s.is_empty())
-        .map(|s| parse_num(s.trim(), flag))
-        .collect()
+    value.split(',').filter(|s| !s.is_empty()).map(|s| parse_num(s.trim(), flag)).collect()
 }
 
 fn help_text() -> String {
@@ -153,8 +149,21 @@ mod tests {
         assert_eq!(opts, CliOptions::default());
 
         let opts = CliOptions::parse([
-            "--scenarios", "5", "--trials", "2", "--cap", "50000", "--ncom", "5,20", "--wmin",
-            "1,2,3", "--threads", "4", "--seed", "9", "--quiet",
+            "--scenarios",
+            "5",
+            "--trials",
+            "2",
+            "--cap",
+            "50000",
+            "--ncom",
+            "5,20",
+            "--wmin",
+            "1,2,3",
+            "--threads",
+            "4",
+            "--seed",
+            "9",
+            "--quiet",
         ])
         .unwrap();
         assert_eq!(opts.scenarios, 5);
@@ -185,7 +194,8 @@ mod tests {
 
     #[test]
     fn campaign_reflects_options() {
-        let opts = CliOptions::parse(["--scenarios", "2", "--trials", "1", "--wmin", "1,5"]).unwrap();
+        let opts =
+            CliOptions::parse(["--scenarios", "2", "--trials", "1", "--wmin", "1,5"]).unwrap();
         let config = opts.campaign();
         assert_eq!(config.scenarios_per_point, 2);
         assert_eq!(config.trials_per_scenario, 1);

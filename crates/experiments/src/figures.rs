@@ -148,8 +148,7 @@ mod tests {
             ],
             vec![1, 2],
         );
-        let fig =
-            Figure::compute(&results, 10, "IE", &["IE".to_string(), "H".to_string()]);
+        let fig = Figure::compute(&results, 10, "IE", &["IE".to_string(), "H".to_string()]);
         assert_eq!(fig.series.len(), 2);
         let h = &fig.series[1];
         assert_eq!(h.points.len(), 2);

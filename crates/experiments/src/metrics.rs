@@ -106,19 +106,16 @@ impl ReferenceComparison {
                     let Some(r_ms) = r_makespan else { continue };
                     // %wins / %wins30 are per-trial, counting failed H runs as losses.
                     trials_compared += 1;
-                    match h_makespan {
-                        Some(h_ms) => {
-                            if h_ms <= r_ms {
-                                wins += 1;
-                            }
-                            if h_ms as f64 <= 1.3 * r_ms as f64 {
-                                wins30 += 1;
-                            }
-                            h_sum += h_ms as f64;
-                            r_sum += r_ms as f64;
-                            joint += 1;
+                    if let Some(h_ms) = h_makespan {
+                        if h_ms <= r_ms {
+                            wins += 1;
                         }
-                        None => {}
+                        if h_ms as f64 <= 1.3 * r_ms as f64 {
+                            wins30 += 1;
+                        }
+                        h_sum += h_ms as f64;
+                        r_sum += r_ms as f64;
+                        joint += 1;
                     }
                 }
                 if joint > 0 {
@@ -130,7 +127,8 @@ impl ReferenceComparison {
             }
 
             let n = per_scenario_rel.len();
-            let mean_rel = if n > 0 { per_scenario_rel.iter().sum::<f64>() / n as f64 } else { 0.0 };
+            let mean_rel =
+                if n > 0 { per_scenario_rel.iter().sum::<f64>() / n as f64 } else { 0.0 };
             let stdv = if n > 1 {
                 let var = per_scenario_rel.iter().map(|x| (x - mean_rel).powi(2)).sum::<f64>()
                     / (n as f64 - 1.0);
@@ -164,7 +162,9 @@ impl ReferenceComparison {
     /// used by the paper's tables.
     pub fn sorted_by_diff(&self) -> Vec<&HeuristicSummary> {
         let mut rows: Vec<&HeuristicSummary> = self.summaries.iter().collect();
-        rows.sort_by(|a, b| a.pct_diff.partial_cmp(&b.pct_diff).unwrap_or(std::cmp::Ordering::Equal));
+        rows.sort_by(|a, b| {
+            a.pct_diff.partial_cmp(&b.pct_diff).unwrap_or(std::cmp::Ordering::Equal)
+        });
         rows
     }
 
@@ -204,15 +204,14 @@ mod tests {
     #[test]
     fn better_heuristic_gets_negative_diff_and_high_wins() {
         // Scenario 0: H = 80 vs IE = 100 on both trials.
-        let data = vec![
+        let data = [
             result("IE", 0, 0, Some(100)),
             result("IE", 0, 1, Some(100)),
             result("H", 0, 0, Some(80)),
             result("H", 0, 1, Some(80)),
         ];
         let refs: Vec<&InstanceResult> = data.iter().collect();
-        let cmp =
-            ReferenceComparison::compute(&refs, "IE", &["IE".to_string(), "H".to_string()]);
+        let cmp = ReferenceComparison::compute(&refs, "IE", &["IE".to_string(), "H".to_string()]);
         let h = cmp.summary_of("H").unwrap();
         assert!((h.pct_diff - (-25.0)).abs() < 1e-9); // (80-100)/80 = -0.25
         assert!((h.pct_wins - 100.0).abs() < 1e-9);
@@ -226,7 +225,7 @@ mod tests {
     #[test]
     fn worse_heuristic_and_wins30_threshold() {
         // H = 125 vs IE = 100: within 30% -> wins30 but not wins.
-        let data = vec![
+        let data = [
             result("IE", 0, 0, Some(100)),
             result("H", 0, 0, Some(125)),
             // Second scenario: H = 200 vs IE = 100 -> outside 30%.
@@ -246,7 +245,7 @@ mod tests {
 
     #[test]
     fn failed_trials_count_as_fails_and_losses() {
-        let data = vec![
+        let data = [
             result("IE", 0, 0, Some(100)),
             result("IE", 0, 1, Some(100)),
             result("H", 0, 0, None),
@@ -264,7 +263,7 @@ mod tests {
 
     #[test]
     fn trials_where_reference_fails_are_excluded_from_wins() {
-        let data = vec![
+        let data = [
             result("IE", 0, 0, None),
             result("H", 0, 0, Some(50)),
             result("IE", 0, 1, Some(100)),
@@ -280,7 +279,7 @@ mod tests {
 
     #[test]
     fn sorted_by_diff_orders_best_first() {
-        let data = vec![
+        let data = [
             result("IE", 0, 0, Some(100)),
             result("A", 0, 0, Some(150)),
             result("B", 0, 0, Some(70)),

@@ -93,20 +93,15 @@ pub fn run_sensitivity(config: &SensitivityConfig) -> SensitivityResults {
     let mut semi = Vec::new();
     for (point_index, &params) in config.points.iter().enumerate() {
         for scenario_index in 0..config.scenarios_per_point {
-            let seed = derive_seed(
-                config.base_seed,
-                (point_index as u64) << 20 | scenario_index as u64,
-            );
+            let seed =
+                derive_seed(config.base_seed, (point_index as u64) << 20 | scenario_index as u64);
             let scenario = Scenario::generate(params, seed);
             let models = matched_semi_markov_models(&scenario, config.weibull_shape);
             for trial_index in 0..config.trials_per_scenario {
                 let availability_seed = trial_seed(config.base_seed, scenario.seed, trial_index);
                 // The semi-Markov trace is shared by every heuristic of the trial.
-                let semi_traces = SemiMarkovModel::generate_set(
-                    &models,
-                    config.max_slots,
-                    availability_seed,
-                );
+                let semi_traces =
+                    SemiMarkovModel::generate_set(&models, config.max_slots, availability_seed);
                 for heuristic in &config.heuristics {
                     let record = |outcome| InstanceResult {
                         params,

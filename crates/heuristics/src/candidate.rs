@@ -48,12 +48,7 @@ impl CandidateConfig {
     /// `(worker, task count)` pairs for workers holding at least one task,
     /// sorted by worker index.
     pub fn entries(&self) -> Vec<(usize, usize)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(q, &c)| (q, c))
-            .collect()
+        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(q, &c)| (q, c)).collect()
     }
 
     /// Convert into a simulator assignment.

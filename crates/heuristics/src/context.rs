@@ -40,7 +40,11 @@ impl SchedulingContext {
     /// expected duration and success probability of the whole iteration it
     /// would run (remaining communication given what workers already hold,
     /// followed by the full lock-step computation).
-    pub fn evaluate(&mut self, view: &SimView<'_>, entries: &[(usize, usize)]) -> IterationEstimate {
+    pub fn evaluate(
+        &mut self,
+        view: &SimView<'_>,
+        entries: &[(usize, usize)],
+    ) -> IterationEstimate {
         let members: Vec<usize> = entries.iter().map(|&(q, _)| q).collect();
         let tasks: Vec<usize> = entries.iter().map(|&(_, x)| x).collect();
         let comm: Vec<u64> =

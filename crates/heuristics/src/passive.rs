@@ -193,7 +193,7 @@ mod tests {
     fn heterogeneous_reliable(m: usize) -> Fixture {
         // Speeds 1..=4, all reliable and UP.
         let platform = Platform::new(
-            (1..=4).map(|s| WorkerSpec::new(s)).collect(),
+            (1..=4).map(WorkerSpec::new).collect(),
             vec![MarkovChain3::always_up(); 4],
         );
         Fixture {

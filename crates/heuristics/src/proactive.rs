@@ -128,7 +128,9 @@ impl ProactiveScheduler {
             .iter()
             .enumerate()
             .filter(|(_, w)| w.state.is_up())
-            .map(|(q, w)| (q, w.dynamic.has_program, w.dynamic.data_messages, w.dynamic.partial_transfer))
+            .map(|(q, w)| {
+                (q, w.dynamic.has_program, w.dynamic.data_messages, w.dynamic.partial_transfer)
+            })
             .collect();
         if let Some((prev, candidate)) = &self.last_candidate {
             if *prev == fingerprint {
@@ -305,11 +307,7 @@ mod tests {
         let cfg = ActiveConfiguration::new(best, &f.platform, 0);
         for criterion in ProactiveCriterion::ALL {
             let mut sched = ProactiveScheduler::new(criterion, PassiveKind::IE);
-            assert_eq!(
-                sched.decide(&f.view(Some(&cfg))),
-                Decision::KeepCurrent,
-                "{criterion:?}"
-            );
+            assert_eq!(sched.decide(&f.view(Some(&cfg))), Decision::KeepCurrent, "{criterion:?}");
         }
     }
 

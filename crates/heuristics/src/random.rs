@@ -37,9 +37,7 @@ impl RandomScheduler {
             let &q = eligible.choose(&mut self.rng)?;
             counts[q] += 1;
         }
-        Some(Assignment::new(
-            counts.into_iter().enumerate().filter(|&(_, c)| c > 0),
-        ))
+        Some(Assignment::new(counts.into_iter().enumerate().filter(|&(_, c)| c > 0)))
     }
 }
 

@@ -120,7 +120,7 @@ impl EncdInstance {
             .iter()
             .map(|row| {
                 let mut r = row.clone();
-                r.extend(std::iter::repeat(true).take(nw + 1));
+                r.extend(std::iter::repeat_n(true, nw + 1));
                 r
             })
             .collect();

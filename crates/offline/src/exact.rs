@@ -70,9 +70,7 @@ fn search_fixed_size(
             continue;
         }
         chosen.push(q);
-        if let Some(sol) =
-            search_fixed_size(instance, q + 1, chosen, &narrowed, target, needed)
-        {
+        if let Some(sol) = search_fixed_size(instance, q + 1, chosen, &narrowed, target, needed) {
             return Some(sol);
         }
         chosen.pop();
@@ -124,11 +122,7 @@ mod tests {
     #[test]
     fn mu1_positive_instance() {
         // Processors 0 and 2 share slots 0, 2, 3.
-        let inst = OfflineInstance::new(
-            matrix(&["1011", "0110", "1011"]),
-            3,
-            2,
-        );
+        let inst = OfflineInstance::new(matrix(&["1011", "0110", "1011"]), 3, 2);
         let sol = solve_mu1_exact(&inst).expect("solution exists");
         assert!(sol.is_valid_mu1(&inst));
         assert_eq!(sol.processors, vec![0, 2]);
@@ -137,11 +131,7 @@ mod tests {
     #[test]
     fn mu1_negative_instance() {
         // No pair of processors shares 3 UP slots.
-        let inst = OfflineInstance::new(
-            matrix(&["1100", "0110", "0011"]),
-            3,
-            2,
-        );
+        let inst = OfflineInstance::new(matrix(&["1100", "0110", "0011"]), 3, 2);
         assert!(solve_mu1_exact(&inst).is_none());
         // But a weaker requirement succeeds.
         let easier = OfflineInstance::new(matrix(&["1100", "0110", "0011"]), 1, 2);
@@ -175,11 +165,7 @@ mod tests {
     #[test]
     fn mu_unbounded_generalizes_mu1() {
         // Any µ=1 solution is also a µ=∞ solution.
-        let inst = OfflineInstance::new(
-            matrix(&["110110", "111100", "011110", "101011"]),
-            2,
-            2,
-        );
+        let inst = OfflineInstance::new(matrix(&["110110", "111100", "011110", "101011"]), 2, 2);
         if let Some(sol) = solve_mu1_exact(&inst) {
             assert!(sol.is_valid_mu_unbounded(&inst));
             assert!(solve_mu_unbounded_exact(&inst).is_some());
@@ -190,11 +176,7 @@ mod tests {
 
     #[test]
     fn best_common_slots_is_monotone_in_k() {
-        let inst = OfflineInstance::new(
-            matrix(&["111101", "110111", "011111", "111011"]),
-            1,
-            1,
-        );
+        let inst = OfflineInstance::new(matrix(&["111101", "110111", "011111", "111011"]), 1, 1);
         let mut prev = usize::MAX;
         for k in 1..=4 {
             let best = best_common_slots_for_size(&inst, k);

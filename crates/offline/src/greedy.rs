@@ -137,11 +137,7 @@ mod tests {
     fn exact_dominates_greedy() {
         // A trap instance for the greedy: processor 0 has the most UP slots but
         // shares few with the others; the exact solver must still succeed.
-        let inst = OfflineInstance::new(
-            matrix(&["1111110000", "0000111111", "0000111111"]),
-            5,
-            2,
-        );
+        let inst = OfflineInstance::new(matrix(&["1111110000", "0000111111", "0000111111"]), 5, 2);
         assert!(solve_mu1_exact(&inst).is_some());
         // (The greedy picks processor 0 first and then fails — documenting the
         // incompleteness rather than asserting it, since tie-breaking details

@@ -25,7 +25,10 @@ impl OfflineInstance {
         assert!(!up.is_empty(), "an instance needs at least one processor");
         let horizon = up[0].len();
         assert!(horizon > 0, "an instance needs at least one time-slot");
-        assert!(up.iter().all(|row| row.len() == horizon), "availability matrix must be rectangular");
+        assert!(
+            up.iter().all(|row| row.len() == horizon),
+            "availability matrix must be rectangular"
+        );
         assert!(w > 0, "per-task work w must be positive");
         assert!(m > 0, "the iteration must contain at least one task");
         OfflineInstance { up, w, m }
@@ -58,9 +61,7 @@ impl OfflineInstance {
     /// Time-slots during which *all* processors of `procs` are simultaneously
     /// `UP`.
     pub fn common_up_slots(&self, procs: &[usize]) -> Vec<usize> {
-        (0..self.horizon())
-            .filter(|&t| procs.iter().all(|&q| self.up[q][t]))
-            .collect()
+        (0..self.horizon()).filter(|&t| procs.iter().all(|&q| self.up[q][t])).collect()
     }
 
     /// Number of time-slots during which all processors of `procs` are `UP`.
@@ -110,10 +111,9 @@ impl OfflineSolution {
         distinct.sort_unstable();
         distinct.dedup();
         distinct.len() == self.slots.len()
-            && self
-                .slots
-                .iter()
-                .all(|&t| t < instance.horizon() && self.processors.iter().all(|&q| instance.up[q][t]))
+            && self.slots.iter().all(|&t| {
+                t < instance.horizon() && self.processors.iter().all(|&q| instance.up[q][t])
+            })
     }
 }
 

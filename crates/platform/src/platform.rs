@@ -19,11 +19,7 @@ impl Platform {
     /// # Panics
     /// Panics if the two lists have different lengths or are empty.
     pub fn new(workers: Vec<WorkerSpec>, chains: Vec<MarkovChain3>) -> Self {
-        assert_eq!(
-            workers.len(),
-            chains.len(),
-            "each worker needs exactly one availability chain"
-        );
+        assert_eq!(workers.len(), chains.len(), "each worker needs exactly one availability chain");
         assert!(!workers.is_empty(), "a platform needs at least one worker");
         Platform { workers, chains }
     }
@@ -31,10 +27,7 @@ impl Platform {
     /// Build a homogeneous, perfectly reliable platform (useful for tests):
     /// `p` workers of speed `speed`, always `UP`.
     pub fn reliable_homogeneous(p: usize, speed: u64) -> Self {
-        Platform::new(
-            vec![WorkerSpec::new(speed); p],
-            vec![MarkovChain3::always_up(); p],
-        )
+        Platform::new(vec![WorkerSpec::new(speed); p], vec![MarkovChain3::always_up(); p])
     }
 
     /// Sample a platform following the paper's Section VII-A methodology:
@@ -44,9 +37,7 @@ impl Platform {
     pub fn sample_paper_model<R: Rng + ?Sized>(p: usize, wmin: u64, rng: &mut R) -> Self {
         assert!(p > 0, "a platform needs at least one worker");
         assert!(wmin > 0, "wmin must be at least 1");
-        let workers = (0..p)
-            .map(|_| WorkerSpec::new(rng.gen_range(wmin..=10 * wmin)))
-            .collect();
+        let workers = (0..p).map(|_| WorkerSpec::new(rng.gen_range(wmin..=10 * wmin))).collect();
         let chains = (0..p).map(|_| MarkovChain3::sample_paper_model(rng)).collect();
         Platform::new(workers, chains)
     }

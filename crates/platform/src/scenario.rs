@@ -35,13 +35,7 @@ pub struct ScenarioParams {
 impl ScenarioParams {
     /// The paper's defaults: `p = 20`, 10 iterations.
     pub fn paper(m: usize, ncom: usize, wmin: u64) -> Self {
-        ScenarioParams {
-            num_workers: 20,
-            tasks_per_iteration: m,
-            ncom,
-            wmin,
-            iterations: 10,
-        }
+        ScenarioParams { num_workers: 20, tasks_per_iteration: m, ncom, wmin, iterations: 10 }
     }
 
     /// The full experiment space of the paper:
@@ -116,7 +110,11 @@ impl Scenario {
     /// Every worker starts `UP` at time 0 (as in the paper's example) unless
     /// `random_start` is set, in which case initial states are drawn from each
     /// chain's stationary distribution.
-    pub fn availability_for_trial(&self, trial_seed: u64, random_start: bool) -> MarkovAvailability {
+    pub fn availability_for_trial(
+        &self,
+        trial_seed: u64,
+        random_start: bool,
+    ) -> MarkovAvailability {
         MarkovAvailability::new(self.platform.chains().to_vec(), trial_seed, random_start)
     }
 }

@@ -81,11 +81,7 @@ impl Assignment {
     /// The lock-step computation workload of the configuration,
     /// `W = max_q x_q·w_q` (Section III-C), in slots of simultaneous `UP` time.
     pub fn workload(&self, platform: &Platform) -> u64 {
-        self.entries
-            .iter()
-            .map(|&(q, x)| platform.worker(q).compute_slots(x))
-            .max()
-            .unwrap_or(0)
+        self.entries.iter().map(|&(q, x)| platform.worker(q).compute_slots(x)).max().unwrap_or(0)
     }
 
     /// Check the structural validity of the assignment for a platform and
@@ -105,7 +101,10 @@ impl Assignment {
         }
         for &(q, x) in &self.entries {
             if q >= platform.num_workers() {
-                return Err(format!("worker {q} does not exist (platform has {})", platform.num_workers()));
+                return Err(format!(
+                    "worker {q} does not exist (platform has {})",
+                    platform.num_workers()
+                ));
             }
             if !platform.worker(q).can_hold(x) {
                 return Err(format!(

@@ -130,12 +130,8 @@ impl<A: AvailabilityModel> Simulator<A> {
                 }
             }
             if let Some(cfg) = &current {
-                let failed: Vec<usize> = cfg
-                    .assignment
-                    .members()
-                    .into_iter()
-                    .filter(|&q| states[q].is_down())
-                    .collect();
+                let failed: Vec<usize> =
+                    cfg.assignment.members().into_iter().filter(|&q| states[q].is_down()).collect();
                 if !failed.is_empty() {
                     stats.iterations_aborted += 1;
                     log.push(t, EventKind::IterationAborted { failed_workers: failed });
@@ -144,9 +140,8 @@ impl<A: AvailabilityModel> Simulator<A> {
             }
 
             // 3. Ask the scheduler what to do.
-            let worker_views: Vec<WorkerView> = (0..p)
-                .map(|q| WorkerView { state: states[q], dynamic: dynamic[q] })
-                .collect();
+            let worker_views: Vec<WorkerView> =
+                (0..p).map(|q| WorkerView { state: states[q], dynamic: dynamic[q] }).collect();
             let decision = {
                 let view = SimView {
                     time: t,
@@ -164,8 +159,7 @@ impl<A: AvailabilityModel> Simulator<A> {
 
             // 4. Apply the decision.
             if let Decision::NewConfiguration(assignment) = decision {
-                let same =
-                    current.as_ref().map_or(false, |c| c.assignment == assignment);
+                let same = current.as_ref().is_some_and(|c| c.assignment == assignment);
                 if !same && !assignment.is_empty() {
                     self.apply_new_configuration(
                         assignment,
@@ -183,12 +177,20 @@ impl<A: AvailabilityModel> Simulator<A> {
             match current.as_mut() {
                 None => stats.idle_slots += 1,
                 Some(cfg) => {
-                    let ready = cfg.assignment.entries().iter().all(|&(q, x)| {
-                        dynamic[q].comm_slots_remaining(x, t_prog, t_data) == 0
-                    });
+                    let ready = cfg
+                        .assignment
+                        .entries()
+                        .iter()
+                        .all(|&(q, x)| dynamic[q].comm_slots_remaining(x, t_prog, t_data) == 0);
                     if !ready {
                         Self::run_communication_slot(
-                            cfg, &states, &mut dynamic, &self.master, &mut stats, &mut log, t,
+                            cfg,
+                            &states,
+                            &mut dynamic,
+                            &self.master,
+                            &mut stats,
+                            &mut log,
+                            t,
                         );
                     } else {
                         let all_up =
@@ -322,7 +324,10 @@ impl<A: AvailabilityModel> Simulator<A> {
                 } else {
                     log.push(
                         t,
-                        EventKind::DataReceived { worker: q, total_messages: dynamic[q].data_messages },
+                        EventKind::DataReceived {
+                            worker: q,
+                            total_messages: dynamic[q].data_messages,
+                        },
                     );
                 }
             }
@@ -396,10 +401,7 @@ mod tests {
     fn reclaimed_worker_suspends_computation() {
         // One worker, 1 task, speed 3, no communication. Worker is reclaimed for
         // 2 slots in the middle: makespan = 3 + 2.
-        let platform = Platform::new(
-            vec![WorkerSpec::new(3)],
-            vec![MarkovChain3::always_up()],
-        );
+        let platform = Platform::new(vec![WorkerSpec::new(3)], vec![MarkovChain3::always_up()]);
         let app = ApplicationSpec::new(1, 1);
         let master = MasterSpec::from_slots(1, 0, 0);
         let availability = ScriptedAvailability::from_codes(&["URRUUU"]);
@@ -408,10 +410,7 @@ mod tests {
         let (outcome, log) = sim.run(&mut sched);
         assert_eq!(outcome.makespan, Some(5));
         assert_eq!(outcome.stats.stalled_slots, 2);
-        assert!(log
-            .events()
-            .iter()
-            .any(|e| matches!(e.kind, EventKind::ComputationSuspended)));
+        assert!(log.events().iter().any(|e| matches!(e.kind, EventKind::ComputationSuspended)));
     }
 
     #[test]
@@ -430,10 +429,7 @@ mod tests {
         // slot 3: compute -> done at end of slot 3 -> makespan 4.
         assert_eq!(outcome.makespan, Some(4));
         assert_eq!(outcome.stats.iterations_aborted, 1);
-        assert!(log
-            .events()
-            .iter()
-            .any(|e| matches!(e.kind, EventKind::IterationAborted { .. })));
+        assert!(log.events().iter().any(|e| matches!(e.kind, EventKind::IterationAborted { .. })));
     }
 
     #[test]
@@ -499,10 +495,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "Σ µ_q < m")]
     fn infeasible_application_rejected() {
-        let platform = Platform::new(
-            vec![WorkerSpec::with_capacity(1, 1)],
-            vec![MarkovChain3::always_up()],
-        );
+        let platform =
+            Platform::new(vec![WorkerSpec::with_capacity(1, 1)], vec![MarkovChain3::always_up()]);
         let app = ApplicationSpec::new(2, 1);
         let master = MasterSpec::from_slots(1, 0, 0);
         let availability = always_up(1, 10);

@@ -37,10 +37,10 @@ pub mod view;
 pub mod worker_state;
 
 pub use assignment::Assignment;
-pub use fixed::FixedAssignmentScheduler;
 pub use config::ActiveConfiguration;
 pub use engine::{SimulationLimits, Simulator};
 pub use events::{Event, EventKind, EventLog};
+pub use fixed::FixedAssignmentScheduler;
 pub use metrics::{SimOutcome, SimStats};
 pub use view::{Decision, Scheduler, SimView, WorkerView};
 pub use worker_state::WorkerDynamicState;

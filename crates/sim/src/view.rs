@@ -48,12 +48,7 @@ pub struct SimView<'a> {
 impl<'a> SimView<'a> {
     /// Indices of the workers that are `UP` during the current slot.
     pub fn up_workers(&self) -> Vec<usize> {
-        self.workers
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.state.is_up())
-            .map(|(q, _)| q)
-            .collect()
+        self.workers.iter().enumerate().filter(|(_, w)| w.state.is_up()).map(|(q, _)| q).collect()
     }
 
     /// `true` if worker `q` is `UP` during the current slot.
@@ -75,11 +70,7 @@ impl<'a> SimView<'a> {
 
     /// Per-member communication slots still needed for a candidate assignment.
     pub fn comm_slots_for_assignment(&self, assignment: &Assignment) -> Vec<u64> {
-        assignment
-            .entries()
-            .iter()
-            .map(|&(q, x)| self.comm_slots_remaining(q, x))
-            .collect()
+        assignment.entries().iter().map(|&(q, x)| self.comm_slots_remaining(q, x)).collect()
     }
 
     /// `true` if every member of the current configuration is `UP` and ready
@@ -87,9 +78,11 @@ impl<'a> SimView<'a> {
     pub fn current_ready_to_compute(&self) -> bool {
         match self.current {
             None => false,
-            Some(c) => c.assignment.entries().iter().all(|&(q, x)| {
-                self.is_up(q) && self.comm_slots_remaining(q, x) == 0
-            }),
+            Some(c) => c
+                .assignment
+                .entries()
+                .iter()
+                .all(|&(q, x)| self.is_up(q) && self.comm_slots_remaining(q, x) == 0),
         }
     }
 }
@@ -146,7 +139,11 @@ mod tests {
             WorkerView { state: ProcState::Reclaimed, dynamic: WorkerDynamicState::fresh() },
             WorkerView {
                 state: ProcState::Up,
-                dynamic: WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() },
+                dynamic: WorkerDynamicState {
+                    has_program: true,
+                    data_messages: 1,
+                    ..Default::default()
+                },
             },
         ];
         let view = SimView {
@@ -176,7 +173,8 @@ mod tests {
     #[test]
     fn ready_to_compute_requires_all_members_up_and_fed() {
         let (platform, application, master) = fixture();
-        let ready = WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() };
+        let ready =
+            WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() };
         let workers = vec![
             WorkerView { state: ProcState::Up, dynamic: ready },
             WorkerView { state: ProcState::Up, dynamic: ready },

@@ -18,9 +18,7 @@ fn main() {
     let computation = GroupComputation::new(1e-9);
     // Five workers of decreasing reliability.
     let chains: Vec<MarkovChain3> = (0..5)
-        .map(|q| {
-            MarkovChain3::from_self_loop_probs(0.98 - 0.015 * q as f64, 0.93, 0.95).unwrap()
-        })
+        .map(|q| MarkovChain3::from_self_loop_probs(0.98 - 0.015 * q as f64, 0.93, 0.95).unwrap())
         .collect();
     let series: Vec<WorkerSeries> = chains.iter().map(WorkerSeries::new).collect();
 

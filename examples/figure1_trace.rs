@@ -16,21 +16,19 @@ fn main() {
     // (indices 1, 2, 3) participate. Availability is scripted: P3 is
     // temporarily reclaimed during the communication phase, P2 and P3 are
     // reclaimed during the computation phase; nobody crashes.
-    let platform = Platform::new(
-        (1..=5).map(WorkerSpec::new).collect(),
-        vec![MarkovChain3::always_up(); 5],
-    );
+    let platform =
+        Platform::new((1..=5).map(WorkerSpec::new).collect(), vec![MarkovChain3::always_up(); 5]);
     let application = ApplicationSpec::new(5, 1);
     let master = MasterSpec::from_slots(2, 2, 1);
 
     // One availability string per worker (U = UP, R = RECLAIMED, D = DOWN).
     // P1 and P5 are not UP at time 0, so the scheduler cannot enroll them.
     let availability = ScriptedAvailability::from_codes(&[
-        "DDDDDDDDDDDDDDDDDDDD",   // P1: down the whole time
-        "UUUUUUUUUURRUUUUUUUU",   // P2: reclaimed at slots 10-11
-        "UUURRUUUUUUURUUUUUUU",   // P3: reclaimed at 3-4 and 12
-        "UUUUUUUUUUUUUUUUUUUU",   // P4: always up
-        "RRRRRRRRRRRRRRRRRRRR",   // P5: reclaimed the whole time
+        "DDDDDDDDDDDDDDDDDDDD", // P1: down the whole time
+        "UUUUUUUUUURRUUUUUUUU", // P2: reclaimed at slots 10-11
+        "UUURRUUUUUUURUUUUUUU", // P3: reclaimed at 3-4 and 12
+        "UUUUUUUUUUUUUUUUUUUU", // P4: always up
+        "RRRRRRRRRRRRRRRRRRRR", // P5: reclaimed the whole time
     ]);
 
     // The Figure 1 task mapping: 2 tasks on P2, 2 on P3, 1 on P4
@@ -48,7 +46,9 @@ fn main() {
         Some(makespan) => println!(
             "Iteration completed after {makespan} slots \
              ({} transfer slots, {} computation slots, {} stalled slots).",
-            outcome.stats.transfer_slots, outcome.stats.computation_slots, outcome.stats.stalled_slots
+            outcome.stats.transfer_slots,
+            outcome.stats.computation_slots,
+            outcome.stats.stalled_slots
         ),
         None => println!("The iteration did not complete (unexpected for this script)."),
     }
@@ -70,18 +70,24 @@ fn print_log(log: &EventLog) {
                 worker + 1,
                 if *program { "the program" } else { "task data" }
             ),
-            EventKind::ProgramReceived { worker } => format!("P{} now holds the program", worker + 1),
+            EventKind::ProgramReceived { worker } => {
+                format!("P{} now holds the program", worker + 1)
+            }
             EventKind::DataReceived { worker, total_messages } => {
                 format!("P{} received data message #{total_messages}", worker + 1)
             }
             EventKind::ComputationSlot { done, workload } => {
                 format!("computation progresses ({done}/{workload})")
             }
-            EventKind::ComputationSuspended => "computation suspended (a worker is reclaimed)".to_string(),
+            EventKind::ComputationSuspended => {
+                "computation suspended (a worker is reclaimed)".to_string()
+            }
             EventKind::IterationAborted { failed_workers } => {
                 format!("iteration aborted, failed workers: {failed_workers:?}")
             }
-            EventKind::IterationCompleted { iteration } => format!("iteration {iteration} completed"),
+            EventKind::IterationCompleted { iteration } => {
+                format!("iteration {iteration} completed")
+            }
             EventKind::RunFinished { success } => format!("run finished (success = {success})"),
         };
         println!("{:>4}  {description}", event.time);

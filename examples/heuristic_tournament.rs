@@ -40,9 +40,6 @@ fn main() {
 
     let refs: Vec<_> = results.results.iter().collect();
     let comparison = table_comparison(&refs, "IE", &results.heuristic_names());
-    println!(
-        "{}",
-        render_table("Miniature tournament (m = 5, ncom = 10, wmin = 2):", &comparison)
-    );
+    println!("{}", render_table("Miniature tournament (m = 5, ncom = 10, wmin = 2):", &comparison));
     println!("Negative %diff means the heuristic beats the reference IE on average.");
 }

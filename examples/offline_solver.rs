@@ -50,10 +50,7 @@ fn main() {
     let encd = EncdInstance::new(graph, 2, 2);
     println!("\nENCD instance (|V| = 3, |W| = 4, a = 2, b = 2):");
     println!("  has bi-clique:            {}", encd.has_biclique());
-    println!(
-        "  reduction to µ=1 solvable: {}",
-        solve_mu1_exact(&encd.to_offline_mu1()).is_some()
-    );
+    println!("  reduction to µ=1 solvable: {}", solve_mu1_exact(&encd.to_offline_mu1()).is_some());
     println!(
         "  reduction to µ=∞ solvable: {}",
         solve_mu_unbounded_exact(&encd.to_offline_mu_unbounded()).is_some()

@@ -14,14 +14,18 @@ fn main() {
     let params = ScenarioParams::paper(5, 10, 2);
     let scenario = Scenario::generate(params, 42);
 
-    println!("Scenario: {} workers, m = {}, ncom = {}, Tprog = {}, Tdata = {}",
+    println!(
+        "Scenario: {} workers, m = {}, ncom = {}, Tprog = {}, Tdata = {}",
         scenario.platform.num_workers(),
         scenario.application.tasks_per_iteration,
         scenario.master.ncom,
         scenario.master.t_prog,
-        scenario.master.t_data);
-    println!("Worker speeds: {:?}",
-        scenario.platform.workers().iter().map(|w| w.speed).collect::<Vec<_>>());
+        scenario.master.t_data
+    );
+    println!(
+        "Worker speeds: {:?}",
+        scenario.platform.workers().iter().map(|w| w.speed).collect::<Vec<_>>()
+    );
     println!();
 
     // Run a few heuristics on the *same* availability realization (trial seed 7),

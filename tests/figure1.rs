@@ -33,9 +33,7 @@ fn fully_available_workers_follow_the_nominal_timeline() {
     // but the tail is limited by P4 starting late);
     // computation — 6 slots of simultaneous work.
     let (platform, application, master) = figure1_platform();
-    let availability = ScriptedAvailability::from_codes(&[
-        "D", "U", "U", "U", "R",
-    ]);
+    let availability = ScriptedAvailability::from_codes(&["D", "U", "U", "U", "R"]);
     let mut scheduler = FixedAssignmentScheduler::new(figure1_assignment());
     let (outcome, log) = Simulator::from_parts(platform, application, master, availability)
         .with_event_log(true)

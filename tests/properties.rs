@@ -5,7 +5,9 @@ use desktop_grid_scheduling::analysis::GroupComputation;
 use desktop_grid_scheduling::availability::trace::AvailabilityModel;
 use desktop_grid_scheduling::experiments::runner::{run_instance, InstanceSpec};
 use desktop_grid_scheduling::heuristics::HeuristicSpec;
-use desktop_grid_scheduling::offline::{greedy_mu1, greedy_mu_unbounded, solve_mu1_exact, solve_mu_unbounded_exact, OfflineInstance};
+use desktop_grid_scheduling::offline::{
+    greedy_mu1, greedy_mu_unbounded, solve_mu1_exact, solve_mu_unbounded_exact, OfflineInstance,
+};
 use desktop_grid_scheduling::prelude::*;
 use proptest::prelude::*;
 

@@ -1,0 +1,325 @@
+//! Offline-vendored, criterion-compatible micro-benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the small slice of the `criterion` API the workspace's bench targets use:
+//! [`Criterion::benchmark_group`], group knobs (`warm_up_time`,
+//! `measurement_time`, `sample_size`, `throughput`), `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple (median of `sample_size` timed samples
+//! after a warm-up) but real: `cargo bench` prints per-benchmark timings and
+//! slot-throughput where declared. Statistical rigor (outlier analysis,
+//! bootstrap CIs, HTML reports) is out of scope for the shim.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// code. Equivalent to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name, a parameter,
+/// or both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput declaration for a group: elements or bytes processed per
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. simulated slots) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs and times the
+/// measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly: warm up, then record `sample_size` timed
+    /// samples (each sample runs the routine enough times to be measurable).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / iters_done.max(1) as u32;
+        // Size each sample so it lasts ≳1 ms, bounded to keep totals sane.
+        let iters_per_sample = if per_iter >= Duration::from_millis(1) {
+            1
+        } else {
+            (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000)
+                as u32
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+        }
+    }
+}
+
+/// A named group of related benchmarks with shared measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Set the measurement-time hint (the shim sizes samples automatically;
+    /// the knob is accepted for API compatibility).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I, O, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>) -> O,
+    {
+        let id = id.into();
+        self.run(&id, |b| {
+            f(b);
+        });
+        self
+    }
+
+    /// Run one benchmark with an auxiliary input value.
+    pub fn bench_with_input<I, In, O, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &In) -> O,
+    {
+        let id = id.into();
+        self.run(&id, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        let mut line = format!("{}/{:<28} time: [{}]", self.name, id.to_string(), fmt_dur(median));
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let secs = median.as_secs_f64();
+            if secs > 0.0 && count > 0 {
+                line.push_str(&format!(" thrpt: [{:.3e} {unit}]", count as f64 / secs));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// End the group. (The shim prints results eagerly; `finish` exists for
+    /// API compatibility.)
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver. In the shim it only carries default settings and a
+/// quick-mode flag (`--quick` or `CRITERION_QUICK=1` shrinks samples for CI).
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion {
+            default_sample_size: if quick { 3 } else { 20 },
+            default_warm_up: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(300)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let (sample_size, warm_up) = (self.default_sample_size, self.default_warm_up);
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: warm_up,
+            measurement_time: Duration::from_secs(3),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<O, F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>) -> O,
+    {
+        self.benchmark_group(name.to_string()).bench_function("bench", f);
+        self
+    }
+
+    /// Hook for criterion's config-chaining API; returns `self` unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running one or more groups, mirroring criterion's
+/// macro. Bench targets using this must set `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`: succeed without
+            // doing work, like real criterion.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 5).to_string(), "f/5");
+        assert_eq!(BenchmarkId::from_parameter("IE").to_string(), "IE");
+    }
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion { default_sample_size: 2, default_warm_up: Duration::from_millis(1) };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).warm_up_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline-vendored stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — nothing
+//! serializes yet — so this shim provides the two trait names as blanket-implemented
+//! markers plus no-op derive macros. Swapping in the real `serde` later is a
+//! pure `Cargo.toml` change: the annotations are already in place.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

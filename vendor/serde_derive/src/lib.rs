@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the vendored serde
+//! shim. The shim's traits are blanket-implemented, so the derives only need
+//! to exist (and accept `#[serde(...)]` attributes); they emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op derive: the shim's `Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive: the shim's `Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
