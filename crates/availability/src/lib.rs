@@ -18,9 +18,34 @@
 //! * empirical statistics over traces ([`stats`]) and deterministic seeding
 //!   helpers ([`rng`]).
 //!
-//! The crate is intentionally free of any scheduling logic: it only answers the
-//! question *"in which state is processor `q` at time-slot `t`?"* and provides
-//! the probabilistic quantities needed to reason about that question.
+//! The crate is intentionally free of any scheduling logic: it only answers
+//! two questions — *"in which state is processor `q` at time-slot `t`?"*
+//! ([`AvailabilityModel::state`]) and *"when does processor `q` next change
+//! state?"* ([`AvailabilityModel::next_transition`], the primitive behind the
+//! event-driven simulator's jumps) — and provides the probabilistic
+//! quantities needed to reason about them.
+//!
+//! ```
+//! use dg_availability::{AvailabilityModel, MarkovAvailability, MarkovChain3, ProcState};
+//!
+//! // One processor whose self-loop probabilities follow the paper's rule:
+//! // P(x -> x) given, remaining mass split evenly between the other states.
+//! let chain = MarkovChain3::from_self_loop_probs(0.95, 0.90, 0.90).unwrap();
+//! let mut model = MarkovAvailability::new(vec![chain], 42, false);
+//!
+//! // Realizations start UP by default and are deterministic in the seed.
+//! assert_eq!(model.state(0, 0), ProcState::Up);
+//!
+//! // next_transition jumps straight to the next state change and is always
+//! // consistent with per-slot state queries.
+//! let (when, new_state) = model.next_transition(0, 0).expect("chain is not absorbing");
+//! assert!(when > 0);
+//! for t in 0..when {
+//!     assert_eq!(model.state(0, t), ProcState::Up);
+//! }
+//! assert_eq!(model.state(0, when), new_state);
+//! assert_ne!(new_state, ProcState::Up);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -245,6 +245,49 @@ impl MarkovChain3 {
         self.stationary_distribution()[0]
     }
 
+    /// Sample how long the chain stays in `current` and which state it jumps
+    /// to afterwards, in one shot.
+    ///
+    /// Returns `(sojourn, next)`: the chain spends `sojourn ≥ 1` consecutive
+    /// slots in `current` (counting the present slot) and is in `next ≠
+    /// current` from slot `sojourn` on. The sojourn is geometric with per-slot
+    /// continuation probability `P(current → current)` and the jump target is
+    /// drawn from the outgoing probabilities conditioned on leaving, so the
+    /// sampled process has exactly the same distribution as repeated
+    /// [`MarkovChain3::next_state`] calls — but costs two RNG draws per
+    /// *transition* instead of one per *slot*. This is what makes the
+    /// event-driven simulator's jumps over long availability runs affordable.
+    ///
+    /// Returns `None` when `current` is absorbing (self-loop probability 1,
+    /// e.g. the `UP` state of [`MarkovChain3::always_up`]): the chain never
+    /// leaves, so there is no next transition.
+    pub fn sample_transition<R: Rng + ?Sized>(
+        &self,
+        current: ProcState,
+        rng: &mut R,
+    ) -> Option<(u64, ProcState)> {
+        let row = self.transition.m[current.index()];
+        let stay = row[current.index()].clamp(0.0, 1.0);
+        let leave = 1.0 - stay;
+        if leave <= f64::EPSILON {
+            return None;
+        }
+        // Sojourn = 1 + Geometric(leave) extra slots, by inversion.
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        let extra = if stay <= f64::EPSILON { 0.0 } else { (u.ln() / stay.ln()).floor() };
+        let sojourn = 1 + if extra.is_finite() && extra > 0.0 { extra as u64 } else { 0 };
+        // Jump target, conditioned on leaving `current`.
+        let others: [ProcState; 2] = match current {
+            ProcState::Up => [ProcState::Reclaimed, ProcState::Down],
+            ProcState::Reclaimed => [ProcState::Up, ProcState::Down],
+            ProcState::Down => [ProcState::Up, ProcState::Reclaimed],
+        };
+        let first = row[others[0].index()].clamp(0.0, 1.0);
+        let x: f64 = rng.gen::<f64>() * leave;
+        let next = if x < first { others[0] } else { others[1] };
+        Some((sojourn, next))
+    }
+
     /// Sample the state at `t + 1` given the state at `t`.
     pub fn next_state<R: Rng + ?Sized>(&self, current: ProcState, rng: &mut R) -> ProcState {
         let row = self.transition.m[current.index()];
@@ -374,6 +417,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sample_transition_matches_per_slot_statistics() {
+        // The sojourn/jump decomposition must reproduce the per-slot chain's
+        // distribution: mean UP sojourn 1/(1-p_uu) and the conditional jump
+        // split p_ur : p_ud.
+        let c = MarkovChain3::from_self_loop_probs(0.92, 0.9, 0.9).unwrap();
+        let mut rng = rng_from_seed(11);
+        let n = 100_000;
+        let mut total_sojourn = 0u64;
+        let mut to_reclaimed = 0u64;
+        for _ in 0..n {
+            let (sojourn, next) =
+                c.sample_transition(ProcState::Up, &mut rng).expect("UP is not absorbing");
+            assert!(sojourn >= 1);
+            assert_ne!(next, ProcState::Up);
+            total_sojourn += sojourn;
+            if next == ProcState::Reclaimed {
+                to_reclaimed += 1;
+            }
+        }
+        let mean = total_sojourn as f64 / n as f64;
+        assert!((mean - 1.0 / 0.08).abs() < 0.2, "mean UP sojourn {mean}, expected 12.5");
+        let frac = to_reclaimed as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "jump split {frac}, expected 0.5");
+    }
+
+    #[test]
+    fn sample_transition_absorbing_state_returns_none() {
+        let c = MarkovChain3::always_up();
+        let mut rng = rng_from_seed(1);
+        assert_eq!(c.sample_transition(ProcState::Up, &mut rng), None);
+        // DOWN is not absorbing in always_up (it jumps straight back to UP).
+        let (sojourn, next) = c.sample_transition(ProcState::Down, &mut rng).unwrap();
+        assert_eq!(sojourn, 1);
+        assert_eq!(next, ProcState::Up);
     }
 
     #[test]

@@ -172,6 +172,26 @@ impl StateTrace {
         self.states.iter().map(|s| s.code()).collect()
     }
 
+    /// First time-slot strictly after `after` at which the recorded state
+    /// differs from the state at `after`, together with the new state.
+    ///
+    /// Returns `None` when the state never changes again: queries past the
+    /// recorded horizon repeat the last state forever, so a trace whose tail
+    /// is constant has no transition after it. This is the primitive behind
+    /// [`crate::trace::AvailabilityModel::next_transition`] for trace-backed
+    /// models, letting the event-driven simulator jump over idle stretches
+    /// instead of probing [`StateTrace::state_at`] slot by slot.
+    pub fn next_change(&self, after: u64) -> Option<(u64, ProcState)> {
+        let reference = self.state_at(after);
+        let start = (after as usize).saturating_add(1);
+        self.states
+            .get(start..)
+            .unwrap_or(&[])
+            .iter()
+            .position(|&s| s != reference)
+            .map(|offset| ((start + offset) as u64, self.states[start + offset]))
+    }
+
     /// Number of time-slots in `[from, to)` during which the processor is `Up`.
     pub fn up_slots(&self, from: u64, to: u64) -> u64 {
         (from..to).filter(|&t| self.state_at(t).is_up()).count() as u64
@@ -243,6 +263,19 @@ mod tests {
         assert_eq!(t.up_slots(0, 3), 2);
         assert!(t.never_down(0, 3));
         assert!(!t.never_down(0, 4));
+    }
+
+    #[test]
+    fn next_change_finds_transitions_and_stops_at_constant_tail() {
+        let t = StateTrace::parse("UURRDUU").unwrap();
+        assert_eq!(t.next_change(0), Some((2, ProcState::Reclaimed)));
+        assert_eq!(t.next_change(1), Some((2, ProcState::Reclaimed)));
+        assert_eq!(t.next_change(2), Some((4, ProcState::Down)));
+        assert_eq!(t.next_change(4), Some((5, ProcState::Up)));
+        // The trailing UP run repeats forever, so there is no change after it.
+        assert_eq!(t.next_change(5), None);
+        assert_eq!(t.next_change(100), None);
+        assert_eq!(StateTrace::constant(ProcState::Down, 4).next_change(0), None);
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! Availability trace generation and replay.
 //!
-//! The simulator needs to answer "in which state is processor `q` at time-slot
-//! `t`?" for arbitrary (monotonically explored) times. Two implementations of
-//! the [`AvailabilityModel`] trait are provided:
+//! The simulator needs to answer two questions about processor availability:
+//! "in which state is processor `q` at time-slot `t`?" ([`AvailabilityModel::
+//! state`]) and "when does processor `q` next *change* state?"
+//! ([`AvailabilityModel::next_transition`], the primitive behind the
+//! event-driven engine's jumps over idle stretches). Two kinds of backend
+//! implement the [`AvailabilityModel`] trait:
 //!
-//! * [`MarkovAvailability`] — realizes each processor's [`MarkovChain3`] lazily,
-//!   extending its trace on demand. The realization is fully determined by the
-//!   seed, so simulation runs are reproducible.
-//! * [`ScriptedAvailability`] — replays explicit, hand-written traces. Used for
-//!   unit tests and to reproduce the worked example of Figure 1.
-//!
-//! [`TraceSet`] is a plain container of pre-generated traces (one per
-//! processor) useful for analysis and for feeding semi-Markov realizations to
-//! the simulator.
+//! * [`MarkovAvailability`] — realizes each processor's [`MarkovChain3`] lazily
+//!   as a run-length-encoded sequence of `(start_slot, state)` segments,
+//!   sampling sojourn times directly ([`MarkovChain3::sample_transition`])
+//!   instead of flipping a coin every slot. The realization is fully determined
+//!   by the seed, so simulation runs are reproducible, and both queries cost
+//!   `O(log #segments)` after amortized `O(#transitions)` generation.
+//! * [`ScriptedAvailability`] and [`TraceSet`] — replay explicit, pre-generated
+//!   traces (hand-written scripts for unit tests and the Figure 1 worked
+//!   example; semi-Markov realizations for the sensitivity study). Their
+//!   `next_transition` scans the dense trace for the next change.
 
 use crate::markov::MarkovChain3;
 use crate::rng::sub_rng;
@@ -34,6 +38,22 @@ pub trait AvailabilityModel {
     /// Implementations may panic if `q >= self.num_procs()`.
     fn state(&mut self, q: usize, t: u64) -> ProcState;
 
+    /// First time-slot strictly after `after` at which processor `q` is in a
+    /// different state than at `after`, together with that new state.
+    ///
+    /// Returns `None` when the processor never changes state again (a
+    /// scripted trace past its horizon, or a Markov chain caught in an
+    /// absorbing state). The event-driven simulator uses this to jump
+    /// directly to the next instant at which anything can happen, so
+    /// implementations must be consistent with [`AvailabilityModel::state`]:
+    /// `state(q, u)` equals `state(q, after)` for every
+    /// `after < u < transition_slot`, and equals the returned state at the
+    /// returned slot.
+    ///
+    /// # Panics
+    /// Implementations may panic if `q >= self.num_procs()`.
+    fn next_transition(&mut self, q: usize, after: u64) -> Option<(u64, ProcState)>;
+
     /// `true` if every processor in `procs` is `UP` at time-slot `t`.
     fn all_up(&mut self, procs: &[usize], t: u64) -> bool {
         procs.iter().all(|&q| self.state(q, t).is_up())
@@ -41,11 +61,18 @@ pub trait AvailabilityModel {
 }
 
 /// Lazily realized Markov availability: one [`MarkovChain3`] and one RNG stream
-/// per processor.
+/// per processor, realized as run-length segments by direct sojourn sampling.
 #[derive(Debug, Clone)]
 pub struct MarkovAvailability {
     chains: Vec<MarkovChain3>,
-    traces: Vec<StateTrace>,
+    /// Per-processor realization as `(start_slot, state)` runs: the processor
+    /// is in `state` from `start_slot` (inclusive) until the next segment's
+    /// start. Starts are strictly increasing and consecutive states always
+    /// differ, so segment boundaries *are* the transition instants.
+    segments: Vec<Vec<(u64, ProcState)>>,
+    /// `true` once the processor reached an absorbing state: the last
+    /// segment's state then persists forever and no more RNG is consumed.
+    absorbed: Vec<bool>,
     rngs: Vec<SmallRng>,
 }
 
@@ -56,7 +83,7 @@ impl MarkovAvailability {
     /// `random_start` is set, in which case the initial state is drawn from the
     /// chain's stationary distribution.
     pub fn new(chains: Vec<MarkovChain3>, seed: u64, random_start: bool) -> Self {
-        let mut traces = Vec::with_capacity(chains.len());
+        let mut segments = Vec::with_capacity(chains.len());
         let mut rngs = Vec::with_capacity(chains.len());
         for (q, chain) in chains.iter().enumerate() {
             let mut rng = sub_rng(seed, q as u64);
@@ -73,10 +100,11 @@ impl MarkovAvailability {
             } else {
                 ProcState::Up
             };
-            traces.push(StateTrace::new(vec![initial]));
+            segments.push(vec![(0, initial)]);
             rngs.push(rng);
         }
-        MarkovAvailability { chains, traces, rngs }
+        let absorbed = vec![false; chains.len()];
+        MarkovAvailability { chains, segments, absorbed, rngs }
     }
 
     /// The chain governing processor `q`.
@@ -90,29 +118,47 @@ impl MarkovAvailability {
     }
 
     /// Materialize the first `horizon` time-slots of every processor into a
-    /// [`TraceSet`].
+    /// [`TraceSet`] (a single-slot trace per processor when `horizon` is 0).
     pub fn materialize(&mut self, horizon: u64) -> TraceSet {
+        let cap = horizon.max(1);
+        let mut traces = Vec::with_capacity(self.num_procs());
         for q in 0..self.num_procs() {
-            let _ = self.state(q, horizon.saturating_sub(1));
+            self.realize_past(q, cap - 1);
+            let segments = &self.segments[q];
+            let mut states = Vec::with_capacity(cap as usize);
+            for (i, &(start, state)) in segments.iter().enumerate() {
+                if start >= cap {
+                    break;
+                }
+                // Starts are strictly increasing, so the run ends where the
+                // next segment begins (or at the horizon).
+                let end = segments.get(i + 1).map_or(cap, |&(s, _)| s.min(cap));
+                states.extend(std::iter::repeat_n(state, (end - start) as usize));
+            }
+            traces.push(StateTrace::new(states));
         }
-        TraceSet::new(
-            self.traces
-                .iter()
-                .map(|t| {
-                    let codes: Vec<ProcState> = (0..horizon).map(|s| t.state_at(s)).collect();
-                    StateTrace::new(if codes.is_empty() { vec![t.state_at(0)] } else { codes })
-                })
-                .collect(),
-        )
+        TraceSet::new(traces)
     }
 
-    fn extend_to(&mut self, q: usize, t: u64) {
-        let trace = &mut self.traces[q];
-        while (trace.len() as u64) <= t {
-            let last = trace.state_at(trace.len() as u64 - 1);
-            let next = self.chains[q].next_state(last, &mut self.rngs[q]);
-            trace.push(next);
+    /// Extend processor `q`'s realization until its last segment starts after
+    /// `t` (so the state at `t` is final) or an absorbing state is reached.
+    fn realize_past(&mut self, q: usize, t: u64) {
+        while !self.absorbed[q] {
+            let &(start, state) = self.segments[q].last().expect("segments are never empty");
+            if start > t {
+                break;
+            }
+            match self.chains[q].sample_transition(state, &mut self.rngs[q]) {
+                Some((sojourn, next)) => self.segments[q].push((start + sojourn, next)),
+                None => self.absorbed[q] = true,
+            }
         }
+    }
+
+    /// Index of the segment covering slot `t` (requires the realization to
+    /// already extend past `t`).
+    fn segment_at(&self, q: usize, t: u64) -> usize {
+        self.segments[q].partition_point(|&(start, _)| start <= t) - 1
     }
 }
 
@@ -122,10 +168,14 @@ impl AvailabilityModel for MarkovAvailability {
     }
 
     fn state(&mut self, q: usize, t: u64) -> ProcState {
-        if (self.traces[q].len() as u64) <= t {
-            self.extend_to(q, t);
-        }
-        self.traces[q].state_at(t)
+        self.realize_past(q, t);
+        self.segments[q][self.segment_at(q, t)].1
+    }
+
+    fn next_transition(&mut self, q: usize, after: u64) -> Option<(u64, ProcState)> {
+        self.realize_past(q, after);
+        let next = self.segment_at(q, after) + 1;
+        self.segments[q].get(next).copied()
     }
 }
 
@@ -169,6 +219,10 @@ impl AvailabilityModel for ScriptedAvailability {
     fn state(&mut self, q: usize, t: u64) -> ProcState {
         self.traces[q].state_at(t)
     }
+
+    fn next_transition(&mut self, q: usize, after: u64) -> Option<(u64, ProcState)> {
+        self.traces[q].next_change(after)
+    }
 }
 
 /// A plain collection of per-processor traces.
@@ -211,6 +265,10 @@ impl AvailabilityModel for TraceSet {
 
     fn state(&mut self, q: usize, t: u64) -> ProcState {
         self.traces[q].state_at(t)
+    }
+
+    fn next_transition(&mut self, q: usize, after: u64) -> Option<(u64, ProcState)> {
+        self.traces[q].next_change(after)
     }
 }
 
@@ -296,6 +354,76 @@ mod tests {
         assert!(s.all_up(&[0, 1, 2], 0));
         assert!(!s.all_up(&[0, 1, 2], 1));
         assert!(s.all_up(&[], 1));
+    }
+
+    #[test]
+    fn next_transition_is_consistent_with_state_queries() {
+        let chains = paper_chains(4, 31);
+        let mut a = MarkovAvailability::new(chains, 9, false);
+        for q in 0..4 {
+            let mut t = 0u64;
+            while t < 2_000 {
+                let here = a.state(q, t);
+                match a.next_transition(q, t) {
+                    Some((when, state)) => {
+                        assert!(when > t);
+                        assert_ne!(state, here, "transition to the same state");
+                        for u in t + 1..when {
+                            assert_eq!(a.state(q, u), here, "state changed before the transition");
+                        }
+                        assert_eq!(a.state(q, when), state);
+                        t = when;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_transition_on_absorbing_chain_is_none() {
+        let mut a = MarkovAvailability::new(vec![MarkovChain3::always_up()], 5, false);
+        assert_eq!(a.state(0, 1_000_000), ProcState::Up);
+        assert_eq!(a.next_transition(0, 0), None);
+        assert_eq!(a.next_transition(0, 99), None);
+    }
+
+    #[test]
+    fn scripted_next_transition_scans_the_trace() {
+        let mut s = ScriptedAvailability::from_codes(&["UURD", "RRRR"]);
+        assert_eq!(s.next_transition(0, 0), Some((2, ProcState::Reclaimed)));
+        assert_eq!(s.next_transition(0, 2), Some((3, ProcState::Down)));
+        // Past the horizon the last state persists: no more transitions.
+        assert_eq!(s.next_transition(0, 3), None);
+        assert_eq!(s.next_transition(1, 0), None);
+        let mut set = TraceSet::new(vec![StateTrace::parse("UDU").unwrap()]);
+        assert_eq!(set.next_transition(0, 0), Some((1, ProcState::Down)));
+        assert_eq!(set.next_transition(0, 1), Some((2, ProcState::Up)));
+        assert_eq!(set.next_transition(0, 2), None);
+    }
+
+    #[test]
+    fn query_order_does_not_change_the_realization() {
+        // next_transition and state share the same lazily generated
+        // realization, so interleaving them in any order must agree.
+        let chains = paper_chains(2, 7);
+        let mut a = MarkovAvailability::new(chains.clone(), 3, false);
+        let mut b = MarkovAvailability::new(chains, 3, false);
+        // `a` explores via transitions first, `b` via dense state queries.
+        let mut hops = Vec::new();
+        let mut t = 0;
+        for _ in 0..50 {
+            match a.next_transition(0, t) {
+                Some((when, state)) => {
+                    hops.push((when, state));
+                    t = when;
+                }
+                None => break,
+            }
+        }
+        for (when, state) in hops {
+            assert_eq!(b.state(0, when), state);
+        }
     }
 
     #[test]

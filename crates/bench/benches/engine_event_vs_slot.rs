@@ -1,0 +1,58 @@
+//! Bench target contrasting the two simulation engines on identical
+//! workloads: the slot-stepped reference executes every time-slot while the
+//! event-driven engine jumps between state-changing instants, producing the
+//! same [`dg_sim::SimOutcome`] in far fewer engine iterations.
+//!
+//! Besides wall-clock time per engine, the bench asserts outcome equality on
+//! every measured workload and prints the executed-slot counts once per
+//! heuristic, so a `cargo bench -p dg-bench --bench engine_event_vs_slot` run
+//! doubles as the speedup demonstration of the event-driven rework.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_bench::{bench_scenario, run_one_mode};
+use dg_sim::SimMode;
+use std::time::Duration;
+
+/// Heuristics covering every engine-relevant decision pattern: time-free
+/// (RANDOM, IE, P-IE), yield-decay (Y-IE) and a drifting IY base (E-IY).
+const HEURISTICS: [&str; 5] = ["RANDOM", "IE", "P-IE", "Y-IE", "E-IY"];
+
+fn engine_comparison(c: &mut Criterion) {
+    // A paper-style m = 5 scenario at wmin = 4: long enough computation and
+    // reclaimed phases for event skipping to matter, small enough for CI.
+    let scenario = bench_scenario(5, 10, 4, 5, 42);
+    let cap = 200_000;
+
+    let mut group = c.benchmark_group("engine_event_vs_slot");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for heuristic in HEURISTICS {
+        // Outcomes must be byte-identical across engines on every workload
+        // this bench reports numbers for.
+        let (slot_outcome, slot_report) =
+            run_one_mode(&scenario, heuristic, 7, cap, SimMode::SlotStepped);
+        let (event_outcome, event_report) =
+            run_one_mode(&scenario, heuristic, 7, cap, SimMode::EventDriven);
+        assert_eq!(slot_outcome, event_outcome, "{heuristic}: engines disagree");
+        eprintln!(
+            "{heuristic:>8}: {} simulated slots -> slot engine executed {}, \
+             event engine executed {} ({:.1}x fewer)",
+            slot_report.simulated_slots,
+            slot_report.executed_slots,
+            event_report.executed_slots,
+            slot_report.executed_slots as f64 / event_report.executed_slots.max(1) as f64,
+        );
+
+        group.bench_with_input(BenchmarkId::new("slot", heuristic), heuristic, |b, h| {
+            b.iter(|| run_one_mode(&scenario, h, 7, cap, SimMode::SlotStepped));
+        });
+        group.bench_with_input(BenchmarkId::new("event", heuristic), heuristic, |b, h| {
+            b.iter(|| run_one_mode(&scenario, h, 7, cap, SimMode::EventDriven));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_comparison);
+criterion_main!(benches);

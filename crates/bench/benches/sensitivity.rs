@@ -29,7 +29,7 @@ fn markov_vs_semi_markov(c: &mut Criterion) {
                 let availability = scenario.availability_for_trial(9, false);
                 let mut sched = HeuristicSpec::parse(h).unwrap().build(9, 1e-7);
                 Simulator::new(&scenario, availability)
-                    .with_limits(SimulationLimits::with_max_slots(cap))
+                    .with_limits(SimulationLimits::with_max_slots(cap).expect("positive cap"))
                     .run(sched.as_mut())
             });
         });
@@ -38,7 +38,7 @@ fn markov_vs_semi_markov(c: &mut Criterion) {
                 let traces = SemiMarkovModel::generate_set(&models, cap, 9);
                 let mut sched = HeuristicSpec::parse(h).unwrap().build(9, 1e-7);
                 Simulator::new(&scenario, traces)
-                    .with_limits(SimulationLimits::with_max_slots(cap))
+                    .with_limits(SimulationLimits::with_max_slots(cap).expect("positive cap"))
                     .run(sched.as_mut())
             });
         });

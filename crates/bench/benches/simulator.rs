@@ -62,7 +62,7 @@ fn engine_throughput(c: &mut Criterion) {
                 MasterSpec::from_slots(5, 5, 1),
                 availability,
             )
-            .with_limits(SimulationLimits::with_max_slots(50_000))
+            .with_limits(SimulationLimits::with_max_slots(50_000).unwrap())
             .run(&mut sched)
         });
     });

@@ -13,6 +13,7 @@
 //! | `simulator` | Section III substrate | simulator slot throughput |
 //! | `offline` | Theorem 4.1 | exact vs greedy OFF-LINE-COUPLED solvers, ENCD reduction |
 //! | `sensitivity` | Section VII-B extension | Markov vs semi-Markov availability runs |
+//! | `engine_event_vs_slot` | Section III substrate | event-driven vs slot-stepped engine on identical workloads |
 //!
 //! The criterion benches intentionally run *scaled-down slices* so that
 //! `cargo bench --workspace` completes on a single core; the full tables and
@@ -25,7 +26,7 @@
 
 use dg_heuristics::HeuristicSpec;
 use dg_platform::{Scenario, ScenarioParams};
-use dg_sim::{SimOutcome, SimulationLimits, Simulator};
+use dg_sim::{EngineReport, SimMode, SimOutcome, SimulationLimits, Simulator};
 
 /// Build a small paper-style scenario used by several benches.
 pub fn bench_scenario(m: usize, ncom: usize, wmin: u64, iterations: u64, seed: u64) -> Scenario {
@@ -33,15 +34,30 @@ pub fn bench_scenario(m: usize, ncom: usize, wmin: u64, iterations: u64, seed: u
     Scenario::generate(params, seed)
 }
 
-/// Run one heuristic on one trial of a scenario with the given slot cap.
+/// Run one heuristic on one trial of a scenario with the given slot cap,
+/// under the default (event-driven) engine.
 pub fn run_one(scenario: &Scenario, heuristic: &str, trial_seed: u64, cap: u64) -> SimOutcome {
+    run_one_mode(scenario, heuristic, trial_seed, cap, SimMode::default()).0
+}
+
+/// Run one heuristic on one trial under an explicit engine mode, returning
+/// the outcome together with the engine's work report. Used by the
+/// `engine_event_vs_slot` bench to contrast executed-slot counts.
+pub fn run_one_mode(
+    scenario: &Scenario,
+    heuristic: &str,
+    trial_seed: u64,
+    cap: u64,
+    mode: SimMode,
+) -> (SimOutcome, EngineReport) {
     let availability = scenario.availability_for_trial(trial_seed, false);
     let mut scheduler =
         HeuristicSpec::parse(heuristic).expect("known heuristic").build(trial_seed, 1e-7);
-    let (outcome, _) = Simulator::new(scenario, availability)
-        .with_limits(SimulationLimits::with_max_slots(cap))
-        .run(scheduler.as_mut());
-    outcome
+    let (outcome, _, report) = Simulator::new(scenario, availability)
+        .with_limits(SimulationLimits::with_max_slots(cap).expect("positive cap"))
+        .with_mode(mode)
+        .run_with_report(scheduler.as_mut());
+    (outcome, report)
 }
 
 #[cfg(test)]

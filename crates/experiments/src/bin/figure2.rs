@@ -28,13 +28,14 @@ fn main() {
         .collect();
     let config = opts.campaign().with_m(10).with_heuristics(heuristics);
     eprintln!(
-        "Figure 2 campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {})",
+        "Figure 2 campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine)",
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
         config.heuristics.len(),
         config.total_runs(),
         config.max_slots,
+        config.engine,
     );
     let results = run_campaign(&config, progress_reporter(opts.quiet));
     let names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();

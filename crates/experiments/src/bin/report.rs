@@ -23,13 +23,14 @@ fn main() {
     };
     let config = opts.campaign();
     eprintln!(
-        "Full campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {})",
+        "Full campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine)",
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
         config.heuristics.len(),
         config.total_runs(),
         config.max_slots,
+        config.engine,
     );
     let start = std::time::Instant::now();
     let results = run_campaign(&config, progress_reporter(opts.quiet));

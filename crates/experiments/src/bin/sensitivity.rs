@@ -33,13 +33,15 @@ fn main() {
         base_seed: opts.seed,
         epsilon: dg_analysis::DEFAULT_EPSILON,
         weibull_shape: 0.7,
+        engine: opts.engine,
     };
     eprintln!(
-        "Sensitivity campaign: {} points x {} scenarios x {} trials x {} heuristics (x2 models)",
+        "Sensitivity campaign: {} points x {} scenarios x {} trials x {} heuristics (x2 models, {} engine)",
         config.points.len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
         config.heuristics.len(),
+        config.engine,
     );
     let results = run_sensitivity(&config);
     println!("{}", render_sensitivity(&results, "IE", &heuristic_names));

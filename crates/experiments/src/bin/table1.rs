@@ -19,13 +19,14 @@ fn main() {
     };
     let config = opts.campaign().with_m(5);
     eprintln!(
-        "Table I campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {})",
+        "Table I campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine)",
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
         config.heuristics.len(),
         config.total_runs(),
         config.max_slots,
+        config.engine,
     );
     let results = run_campaign(&config, progress_reporter(opts.quiet));
     let subset: Vec<_> = results.results.iter().collect();

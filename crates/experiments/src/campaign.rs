@@ -4,7 +4,7 @@ use crate::runner::{run_instance, InstanceSpec};
 use dg_availability::rng::derive_seed;
 use dg_heuristics::HeuristicSpec;
 use dg_platform::{Scenario, ScenarioParams};
-use dg_sim::SimOutcome;
+use dg_sim::{SimMode, SimOutcome};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -42,6 +42,10 @@ pub struct CampaignConfig {
     pub epsilon: f64,
     /// Worker threads to use (1 = sequential).
     pub threads: usize,
+    /// Simulation engine mode every run executes under. The event-driven
+    /// engine (default) and the slot-stepper produce identical results; see
+    /// [`SimMode`].
+    pub engine: SimMode,
 }
 
 impl CampaignConfig {
@@ -60,6 +64,7 @@ impl CampaignConfig {
             base_seed: 20130520, // HCW 2013 workshop date
             epsilon: dg_analysis::DEFAULT_EPSILON,
             threads: 1,
+            engine: SimMode::default(),
         }
     }
 
@@ -92,6 +97,7 @@ impl CampaignConfig {
             base_seed: 7,
             epsilon: dg_analysis::DEFAULT_EPSILON,
             threads: 1,
+            engine: SimMode::default(),
         }
     }
 
@@ -225,6 +231,7 @@ where
                         config.base_seed,
                         config.max_slots,
                         config.epsilon,
+                        config.engine,
                     );
                     local.push(InstanceResult {
                         params,
@@ -284,6 +291,21 @@ mod tests {
         assert_eq!(a.heuristic_names(), vec!["IE".to_string(), "RANDOM".to_string()]);
         let ie_runs = a.results.iter().filter(|r| r.heuristic == "IE").count();
         assert_eq!(ie_runs, config.total_runs() / 2);
+    }
+
+    #[test]
+    fn campaign_results_are_identical_across_engine_modes() {
+        let mut config = CampaignConfig::smoke();
+        config.engine = SimMode::SlotStepped;
+        let slot = run_campaign(&config, |_, _| {});
+        config.engine = SimMode::EventDriven;
+        let event = run_campaign(&config, |_, _| {});
+        // The configs differ only by engine mode; every simulated outcome must
+        // be byte-identical.
+        assert_eq!(slot.results.len(), event.results.len());
+        for (s, e) in slot.results.iter().zip(event.results.iter()) {
+            assert_eq!(s.outcome, e.outcome, "{} diverged between engines", s.heuristic);
+        }
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! --wmin LIST      comma-separated wmin values               [default 1..10]
 //! --threads N      worker threads                            [default 1]
 //! --seed N         master seed                               [default 20130520]
+//! --engine MODE    simulation engine: event | slot           [default event]
 //! --full           the paper's full scale (10×10, cap 10⁶)
 //! --quiet          suppress progress output
 //! ```
 
 use crate::campaign::CampaignConfig;
+use dg_sim::SimMode;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +35,8 @@ pub struct CliOptions {
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// Simulation engine mode (`--engine slot|event`).
+    pub engine: SimMode,
     /// Suppress progress output.
     pub quiet: bool,
 }
@@ -47,6 +51,7 @@ impl Default for CliOptions {
             wmin_values: (1..=10).collect(),
             threads: 1,
             seed: 20130520,
+            engine: SimMode::default(),
             quiet: false,
         }
     }
@@ -75,6 +80,7 @@ impl CliOptions {
                 "--threads" => opts.threads = parse_num(&take(arg)?, arg)?,
                 "--seed" => opts.seed = parse_num(&take(arg)?, arg)?,
                 "--ncom" => opts.ncom_values = parse_list(&take(arg)?, arg)?,
+                "--engine" => opts.engine = take(arg)?.parse()?,
                 "--wmin" => opts.wmin_values = parse_list(&take(arg)?, arg)?,
                 "--full" => {
                     opts.scenarios = 10;
@@ -88,6 +94,9 @@ impl CliOptions {
         }
         if opts.scenarios == 0 || opts.trials == 0 {
             return Err("--scenarios and --trials must be positive".to_string());
+        }
+        if opts.max_slots == 0 {
+            return Err("--cap must be positive".to_string());
         }
         Ok(opts)
     }
@@ -104,6 +113,7 @@ impl CliOptions {
         config.wmin_values = self.wmin_values.clone();
         config.base_seed = self.seed;
         config.threads = self.threads;
+        config.engine = self.engine;
         config
     }
 }
@@ -118,7 +128,7 @@ fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, S
 
 fn help_text() -> String {
     "usage: <binary> [--scenarios N] [--trials N] [--cap N] [--ncom a,b,c] \
-     [--wmin a,b,c] [--threads N] [--seed N] [--full] [--quiet]"
+     [--wmin a,b,c] [--threads N] [--seed N] [--engine slot|event] [--full] [--quiet]"
         .to_string()
 }
 
@@ -190,6 +200,18 @@ mod tests {
         assert!(CliOptions::parse(["--scenarios"]).is_err());
         assert!(CliOptions::parse(["--scenarios", "x"]).is_err());
         assert!(CliOptions::parse(["--scenarios", "0"]).is_err());
+        assert!(CliOptions::parse(["--cap", "0"]).is_err());
+        assert!(CliOptions::parse(["--engine", "warp"]).is_err());
+    }
+
+    #[test]
+    fn engine_flag_selects_the_mode() {
+        assert_eq!(CliOptions::parse(Vec::<&str>::new()).unwrap().engine, SimMode::EventDriven);
+        let slot = CliOptions::parse(["--engine", "slot"]).unwrap();
+        assert_eq!(slot.engine, SimMode::SlotStepped);
+        assert_eq!(slot.campaign().engine, SimMode::SlotStepped);
+        let event = CliOptions::parse(["--engine", "event"]).unwrap();
+        assert_eq!(event.engine, SimMode::EventDriven);
     }
 
     #[test]

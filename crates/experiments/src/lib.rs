@@ -16,10 +16,23 @@
 //! * [`sensitivity`] — the model-mismatch extension: the same heuristics run on
 //!   semi-Markov (Weibull / log-normal) availability traces.
 //!
-//! The binaries `table1`, `table2`, `figure2` and `sensitivity` print the
-//! corresponding paper artifacts; their `--scenarios/--trials/--cap` flags
-//! select the campaign scale (the paper's full scale is 10 scenarios × 10
-//! trials per point with a 10⁶-slot cap).
+//! The binaries `table1`, `table2`, `figure2`, `sensitivity` and `report`
+//! print the corresponding paper artifacts; their `--scenarios/--trials/--cap`
+//! flags select the campaign scale (the paper's full scale is 10 scenarios ×
+//! 10 trials per point with a 10⁶-slot cap) and `--engine slot|event` selects
+//! the simulation engine (see `docs/ARCHITECTURE.md` at the repository root;
+//! both engines produce identical results).
+//!
+//! ```
+//! use dg_experiments::campaign::{run_campaign, CampaignConfig};
+//!
+//! // A minimal smoke campaign: 1 scenario x 1 trial x 2 heuristics on the
+//! // default event-driven engine. Campaigns are deterministic in their seed.
+//! let config = CampaignConfig::smoke();
+//! let results = run_campaign(&config, |_done, _total| {});
+//! assert_eq!(results.results.len(), config.total_runs());
+//! assert_eq!(results.heuristic_names(), vec!["IE".to_string(), "RANDOM".to_string()]);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -33,5 +46,5 @@ pub mod tables;
 
 pub use campaign::{CampaignConfig, CampaignResults, InstanceResult};
 pub use metrics::{HeuristicSummary, ReferenceComparison};
-pub use runner::{run_instance, InstanceSpec};
+pub use runner::{run_instance, run_instance_with_report, InstanceSpec};
 pub use tables::render_table;

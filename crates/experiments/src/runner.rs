@@ -3,7 +3,7 @@
 use dg_availability::rng::derive_seed;
 use dg_heuristics::HeuristicSpec;
 use dg_platform::Scenario;
-use dg_sim::{SimOutcome, SimulationLimits, Simulator};
+use dg_sim::{EngineReport, SimMode, SimOutcome, SimulationLimits, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Identifies one `(scenario, trial, heuristic)` run.
@@ -25,23 +25,46 @@ pub fn trial_seed(base_seed: u64, scenario_seed: u64, trial_index: usize) -> u64
 }
 
 /// Run one instance: realize the scenario's availability for the trial, build
-/// the heuristic, and simulate until completion or the slot cap.
+/// the heuristic, and simulate until completion or the slot cap under the
+/// requested engine `mode`.
+///
+/// # Panics
+/// Panics if `max_slots` is zero (see [`SimulationLimits::with_max_slots`]);
+/// the CLI layer validates the cap before it reaches this point.
 pub fn run_instance(
     scenario: &Scenario,
     spec: &InstanceSpec,
     base_seed: u64,
     max_slots: u64,
     epsilon: f64,
+    mode: SimMode,
 ) -> SimOutcome {
+    run_instance_with_report(scenario, spec, base_seed, max_slots, epsilon, mode).0
+}
+
+/// Like [`run_instance`], but additionally return the [`EngineReport`] saying
+/// how many slots the engine actually executed — the quantity the
+/// `engine_event_vs_slot` bench and the `--engine` comparison are about.
+///
+/// # Panics
+/// Panics if `max_slots` is zero (see [`SimulationLimits::with_max_slots`]).
+pub fn run_instance_with_report(
+    scenario: &Scenario,
+    spec: &InstanceSpec,
+    base_seed: u64,
+    max_slots: u64,
+    epsilon: f64,
+    mode: SimMode,
+) -> (SimOutcome, EngineReport) {
     let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
     let availability = scenario.availability_for_trial(seed, false);
     // The RANDOM heuristic gets its own stream so that its draws are not
     // correlated with the availability realization.
     let mut scheduler = spec.heuristic.build(derive_seed(seed, 0x5EED), epsilon);
-    let simulator = Simulator::new(scenario, availability)
-        .with_limits(SimulationLimits::with_max_slots(max_slots));
-    let (outcome, _) = simulator.run(scheduler.as_mut());
-    outcome
+    let limits = SimulationLimits::with_max_slots(max_slots).expect("slot cap must be positive");
+    let simulator = Simulator::new(scenario, availability).with_limits(limits).with_mode(mode);
+    let (outcome, _, report) = simulator.run_with_report(scheduler.as_mut());
+    (outcome, report)
 }
 
 #[cfg(test)]
@@ -57,8 +80,8 @@ mod tests {
             trial_index: 0,
             heuristic: HeuristicSpec::parse("IE").unwrap(),
         };
-        let a = run_instance(&scenario, &spec, 42, 50_000, 1e-7);
-        let b = run_instance(&scenario, &spec, 42, 50_000, 1e-7);
+        let a = run_instance(&scenario, &spec, 42, 50_000, 1e-7, SimMode::EventDriven);
+        let b = run_instance(&scenario, &spec, 42, 50_000, 1e-7, SimMode::EventDriven);
         assert_eq!(a, b);
     }
 
@@ -70,8 +93,8 @@ mod tests {
             trial_index: trial,
             heuristic: HeuristicSpec::parse("IE").unwrap(),
         };
-        let a = run_instance(&scenario, &mk(0), 42, 50_000, 1e-7);
-        let b = run_instance(&scenario, &mk(1), 42, 50_000, 1e-7);
+        let a = run_instance(&scenario, &mk(0), 42, 50_000, 1e-7, SimMode::EventDriven);
+        let b = run_instance(&scenario, &mk(1), 42, 50_000, 1e-7, SimMode::EventDriven);
         // Different availability realizations essentially never give the same
         // makespan and statistics.
         assert_ne!(a, b);
@@ -85,9 +108,43 @@ mod tests {
             trial_index: 0,
             heuristic: HeuristicSpec::parse("IE").unwrap(),
         };
-        let outcome = run_instance(&scenario, &spec, 1, 200_000, 1e-7);
+        let outcome = run_instance(&scenario, &spec, 1, 200_000, 1e-7, SimMode::EventDriven);
         assert!(outcome.success(), "IE failed an easy wmin=1 scenario: {outcome:?}");
         assert_eq!(outcome.completed_iterations, 10);
+    }
+
+    #[test]
+    fn engine_modes_agree_for_every_heuristic() {
+        // The headline equivalence guarantee, across all 17 heuristics on a
+        // seeded stochastic scenario: slot-stepped and event-driven runs
+        // produce byte-identical outcomes, and the event engine executes no
+        // more slots than the slot-stepper.
+        let scenario = Scenario::generate(
+            ScenarioParams {
+                num_workers: 10,
+                tasks_per_iteration: 4,
+                ncom: 5,
+                wmin: 2,
+                iterations: 3,
+            },
+            17,
+        );
+        for heuristic in HeuristicSpec::all() {
+            let spec = InstanceSpec { scenario_index: 0, trial_index: 0, heuristic };
+            let (slot, slot_report) =
+                run_instance_with_report(&scenario, &spec, 5, 30_000, 1e-6, SimMode::SlotStepped);
+            let (event, event_report) =
+                run_instance_with_report(&scenario, &spec, 5, 30_000, 1e-6, SimMode::EventDriven);
+            assert_eq!(slot, event, "{} disagrees between engine modes", heuristic.name());
+            assert_eq!(slot_report.executed_slots, slot_report.simulated_slots);
+            assert!(
+                event_report.executed_slots <= slot_report.executed_slots,
+                "{}: event engine executed more slots ({}) than the slot-stepper ({})",
+                heuristic.name(),
+                event_report.executed_slots,
+                slot_report.executed_slots
+            );
+        }
     }
 
     #[test]

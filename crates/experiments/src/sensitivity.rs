@@ -16,7 +16,7 @@ use dg_availability::semi_markov::SemiMarkovModel;
 use dg_availability::ProcState;
 use dg_heuristics::HeuristicSpec;
 use dg_platform::{Scenario, ScenarioParams};
-use dg_sim::{SimulationLimits, Simulator};
+use dg_sim::{SimMode, SimulationLimits, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the sensitivity experiment.
@@ -38,6 +38,8 @@ pub struct SensitivityConfig {
     pub epsilon: f64,
     /// Weibull shape parameter of the `UP` sojourns (`< 1` = heavy tail).
     pub weibull_shape: f64,
+    /// Simulation engine mode every run executes under.
+    pub engine: SimMode,
 }
 
 impl SensitivityConfig {
@@ -55,6 +57,7 @@ impl SensitivityConfig {
             base_seed: 1807,
             epsilon: dg_analysis::DEFAULT_EPSILON,
             weibull_shape: 0.7,
+            engine: SimMode::default(),
         }
     }
 }
@@ -89,6 +92,7 @@ pub fn matched_semi_markov_models(scenario: &Scenario, weibull_shape: f64) -> Ve
 
 /// Run the sensitivity experiment sequentially.
 pub fn run_sensitivity(config: &SensitivityConfig) -> SensitivityResults {
+    let limits = SimulationLimits::with_max_slots(config.max_slots).expect("positive slot cap");
     let mut markov = Vec::new();
     let mut semi = Vec::new();
     for (point_index, &params) in config.points.iter().enumerate() {
@@ -115,14 +119,16 @@ pub fn run_sensitivity(config: &SensitivityConfig) -> SensitivityResults {
                     let mut sched =
                         heuristic.build(derive_seed(availability_seed, 0x5EED), config.epsilon);
                     let (outcome, _) = Simulator::new(&scenario, markov_avail)
-                        .with_limits(SimulationLimits::with_max_slots(config.max_slots))
+                        .with_limits(limits)
+                        .with_mode(config.engine)
                         .run(sched.as_mut());
                     markov.push(record(outcome));
                     // Semi-Markov run on the same scenario.
                     let mut sched =
                         heuristic.build(derive_seed(availability_seed, 0x5EED), config.epsilon);
                     let (outcome, _) = Simulator::new(&scenario, semi_traces.clone())
-                        .with_limits(SimulationLimits::with_max_slots(config.max_slots))
+                        .with_limits(limits)
+                        .with_mode(config.engine)
                         .run(sched.as_mut());
                     semi.push(record(outcome));
                 }
@@ -207,6 +213,7 @@ mod tests {
             base_seed: 3,
             epsilon: 1e-6,
             weibull_shape: 0.8,
+            engine: SimMode::default(),
         };
         let results = run_sensitivity(&config);
         assert_eq!(results.markov.len(), 2);

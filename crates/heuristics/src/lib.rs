@@ -24,6 +24,27 @@
 //!
 //! The [`registry`] module enumerates all heuristics by their paper names
 //! (`"Y-IE"`, `"IAY"`, `"RANDOM"`, …) and builds them from a name string.
+//!
+//! Every heuristic also declares, through [`dg_sim::Reevaluation`], when its
+//! decisions can change while the observable simulation state does not — the
+//! contract that lets the event-driven engine ([`dg_sim::SimMode`]) skip
+//! idle stretches without changing any decision.
+//!
+//! ```
+//! use dg_heuristics::build_heuristic;
+//! use dg_platform::{Scenario, ScenarioParams};
+//! use dg_sim::{SimulationLimits, Simulator};
+//!
+//! // Build the paper's headline proactive heuristic by name and drive one
+//! // seeded trial of a small paper-style scenario with it.
+//! let scenario = Scenario::generate(ScenarioParams::paper(5, 10, 1), 42);
+//! let mut scheduler = build_heuristic("Y-IE", 0, 1e-7).unwrap();
+//! let (outcome, _log) = Simulator::new(&scenario, scenario.availability_for_trial(7, false))
+//!     .with_limits(SimulationLimits::with_max_slots(200_000).unwrap())
+//!     .run(scheduler.as_mut());
+//! assert_eq!(scheduler.name(), "Y-IE");
+//! assert!(outcome.completed_iterations <= 10);
+//! ```
 
 #![warn(missing_docs)]
 

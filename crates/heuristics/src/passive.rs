@@ -9,7 +9,7 @@
 use crate::candidate::CandidateConfig;
 use crate::context::SchedulingContext;
 use dg_analysis::IterationEstimate;
-use dg_sim::view::{Decision, Scheduler, SimView};
+use dg_sim::view::{Decision, Reevaluation, Scheduler, SimView};
 use dg_sim::Assignment;
 use serde::{Deserialize, Serialize};
 
@@ -156,6 +156,15 @@ impl Scheduler for PassiveScheduler {
             Some(assignment) => Decision::NewConfiguration(assignment),
             None => Decision::KeepCurrent,
         }
+    }
+
+    fn reevaluation(&self) -> Reevaluation {
+        // A passive heuristic acts only when no configuration is installed,
+        // and whether it *can* build one then depends only on the UP set and
+        // worker capacities (the criterion — even the time-dependent IY —
+        // only picks between feasible placements). Nothing to re-check while
+        // the world is frozen.
+        Reevaluation::never()
     }
 }
 

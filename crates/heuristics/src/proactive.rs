@@ -20,7 +20,7 @@
 use crate::context::SchedulingContext;
 use crate::passive::{build_incremental, PassiveKind};
 use dg_analysis::IterationEstimate;
-use dg_sim::view::{Decision, Scheduler, SimView};
+use dg_sim::view::{Decision, Reevaluation, Scheduler, SimView};
 use dg_sim::Assignment;
 use serde::{Deserialize, Serialize};
 
@@ -188,6 +188,53 @@ impl Scheduler for ProactiveScheduler {
             Decision::NewConfiguration(candidate)
         } else {
             Decision::KeepCurrent
+        }
+    }
+
+    fn reevaluation(&self) -> Reevaluation {
+        // All proactive heuristics reconsider an installed configuration when
+        // the platform around it changes, so workers outside the
+        // configuration crossing the UP boundary are decision points
+        // (`on_outside_transitions: true` throughout). When idle they behave
+        // like their passive base: whether a configuration can be installed
+        // is time-independent, so idle spans never need per-slot
+        // re-evaluation (`while_idle: false` throughout).
+        if self.base == PassiveKind::IY {
+            // The IY building block scores candidates by yield, so the
+            // *candidate itself* drifts as the iteration clock advances: any
+            // span with an installed configuration may flip from keep to
+            // switch at an arbitrary slot.
+            return Reevaluation {
+                during_computation: true,
+                during_stall: true,
+                while_idle: false,
+                on_outside_transitions: true,
+                during_transfer: true,
+            };
+        }
+        match self.criterion {
+            // P and E scores are clock-free and the memoized candidate only
+            // changes when the worker fingerprint does; while the world is
+            // frozen or computing, the running configuration's score can only
+            // improve, so a keep decision stays a keep decision.
+            ProactiveCriterion::Probability | ProactiveCriterion::ExpectedTime => Reevaluation {
+                during_computation: false,
+                during_stall: false,
+                while_idle: false,
+                on_outside_transitions: true,
+                during_transfer: true,
+            },
+            // The yield criterion decays with elapsed time. While computation
+            // accumulates, the running configuration improves relative to the
+            // fixed candidate (keep cannot flip to switch), but during a
+            // stall both scores decay and their order can cross mid-span.
+            ProactiveCriterion::Yield => Reevaluation {
+                during_computation: false,
+                during_stall: true,
+                while_idle: false,
+                on_outside_transitions: true,
+                during_transfer: true,
+            },
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The RANDOM baseline heuristic.
 
 use dg_availability::rng::rng_from_seed;
-use dg_sim::view::{Decision, Scheduler, SimView};
+use dg_sim::view::{Decision, Reevaluation, Scheduler, SimView};
 use dg_sim::Assignment;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -24,7 +24,14 @@ impl RandomScheduler {
     fn build_random(&mut self, view: &SimView<'_>) -> Option<Assignment> {
         let m = view.application.tasks_per_iteration;
         let up = view.up_workers();
-        if up.is_empty() {
+        // Feasibility precheck before any RNG draw: the UP workers must be
+        // able to hold all m tasks. This keeps the RNG stream a pure function
+        // of the *installed* configurations — repeated decide() calls on an
+        // unchanged infeasible view consume nothing — which is what lets the
+        // event-driven engine skip idle slots without perturbing RANDOM's
+        // choices relative to the slot-stepper.
+        let capacity: usize = up.iter().map(|&q| view.platform.worker(q).capacity_for(m)).sum();
+        if capacity < m {
             return None;
         }
         let mut counts = vec![0usize; view.platform.num_workers()];
@@ -34,7 +41,7 @@ impl RandomScheduler {
                 .copied()
                 .filter(|&q| view.platform.worker(q).can_hold(counts[q] + 1))
                 .collect();
-            let &q = eligible.choose(&mut self.rng)?;
+            let &q = eligible.choose(&mut self.rng).expect("feasibility was prechecked");
             counts[q] += 1;
         }
         Some(Assignment::new(counts.into_iter().enumerate().filter(|&(_, c)| c > 0)))
@@ -54,6 +61,13 @@ impl Scheduler for RandomScheduler {
             Some(a) => Decision::NewConfiguration(a),
             None => Decision::KeepCurrent,
         }
+    }
+
+    fn reevaluation(&self) -> Reevaluation {
+        // With an active configuration RANDOM always keeps it; when idle,
+        // whether it can build one depends only on the UP set and worker
+        // capacities. Nothing depends on the clock.
+        Reevaluation::never()
     }
 }
 

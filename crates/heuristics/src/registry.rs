@@ -132,6 +132,40 @@ mod tests {
     }
 
     #[test]
+    fn reevaluation_contract_matches_time_dependence() {
+        use dg_sim::Reevaluation;
+        for spec in HeuristicSpec::all() {
+            let sched = spec.build(1, 1e-7);
+            let reeval = sched.reevaluation();
+            let name = spec.name();
+            // No heuristic starts configurations based on the clock alone.
+            assert!(!reeval.while_idle, "{name} should not re-evaluate while idle");
+            // Exactly the proactive heuristics watch workers outside the
+            // installed configuration and observe transfer progress through
+            // their candidate fingerprints.
+            assert_eq!(reeval.on_outside_transitions, spec.is_proactive(), "{name}");
+            assert_eq!(reeval.during_transfer, spec.is_proactive(), "{name}");
+            if name.ends_with("-IY") {
+                // The IY building block drifts with time: every active span
+                // needs per-slot re-evaluation.
+                assert!(reeval.during_computation, "{name}");
+                assert!(reeval.during_stall, "{name}");
+            } else if name.starts_with("Y-") {
+                // Yield criterion over a time-free base: only stalls.
+                assert!(!reeval.during_computation, "{name}");
+                assert!(reeval.during_stall, "{name}");
+            } else if spec.is_proactive() {
+                // P-* / E-* over time-free bases: decision points are world
+                // changes only.
+                assert!(!reeval.during_computation, "{name}");
+                assert!(!reeval.during_stall, "{name}");
+            } else {
+                assert_eq!(reeval, Reevaluation::never(), "{name}");
+            }
+        }
+    }
+
+    #[test]
     fn proactive_flag() {
         assert!(HeuristicSpec::parse("Y-IE").unwrap().is_proactive());
         assert!(!HeuristicSpec::parse("IE").unwrap().is_proactive());

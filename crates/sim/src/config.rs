@@ -44,6 +44,15 @@ impl ActiveConfiguration {
         self.computation_complete()
     }
 
+    /// Record `slots` consecutive slots of simultaneous computation that are
+    /// known not to finish the iteration. The event-driven engine uses this to
+    /// account in bulk for the skipped interior of an uninterrupted
+    /// computation run; the finishing slot is always executed individually.
+    pub fn advance_computation_bulk(&mut self, slots: u64) {
+        debug_assert!(self.computation_done + slots < self.workload);
+        self.computation_done += slots;
+    }
+
     /// Abort all computation progress (the configuration changed or a worker
     /// failed): due to the tight coupling, partially completed work is lost.
     pub fn reset_computation(&mut self) {

@@ -5,7 +5,7 @@
 //! learn the interface from. The real heuristics live in `dg-heuristics`.
 
 use crate::assignment::Assignment;
-use crate::view::{Decision, Scheduler, SimView};
+use crate::view::{Decision, Reevaluation, Scheduler, SimView};
 
 /// Installs a fixed assignment whenever no configuration is active and every
 /// worker of the assignment is `UP`; otherwise keeps the current state.
@@ -42,6 +42,12 @@ impl Scheduler for FixedAssignmentScheduler {
         } else {
             Decision::KeepCurrent
         }
+    }
+
+    fn reevaluation(&self) -> Reevaluation {
+        // The decision depends only on the UP set and on whether a
+        // configuration is active — never on the clock.
+        Reevaluation::never()
     }
 }
 

@@ -1,0 +1,200 @@
+//! The event-driven engine's wake-up queue.
+//!
+//! The event-driven simulator does not advance time slot by slot: after
+//! executing a slot it collects every instant at which the simulation state
+//! can next change — availability transitions, the completion of the current
+//! computation phase, forced scheduler re-evaluation points — into a
+//! [`WakeQueue`] and jumps straight to the earliest one. The queue is a
+//! deterministic min-[`BinaryHeap`]: events are ordered by time-slot, ties are
+//! broken by [`WakeKind`] order and then by worker id, so the earliest wake-up
+//! (and the reported cause of the jump) never depends on insertion order.
+
+use dg_availability::ProcState;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Why the event-driven engine wants to wake up at a given slot.
+///
+/// Variants are declared in tie-break priority order: when several events
+/// fall on the same slot, an availability transition outranks a phase
+/// completion, which outranks a bare re-evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeKind {
+    /// A worker changes availability state at this slot.
+    AvailabilityTransition {
+        /// The state the worker transitions into.
+        to: ProcState,
+    },
+    /// The installed configuration finishes its lock-step computation at this
+    /// slot (assuming no member changes state before it).
+    PhaseCompletion,
+    /// The scheduler asked to be re-consulted at this slot
+    /// (see [`crate::view::Reevaluation`]).
+    Reevaluate,
+}
+
+impl WakeKind {
+    /// Tie-break rank (lower wins) used when events share a time-slot.
+    fn rank(&self) -> u8 {
+        match self {
+            WakeKind::AvailabilityTransition { .. } => 0,
+            WakeKind::PhaseCompletion => 1,
+            WakeKind::Reevaluate => 2,
+        }
+    }
+}
+
+/// A scheduled wake-up instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeEvent {
+    /// Time-slot at which the engine must execute a full slot.
+    pub time: u64,
+    /// Why the wake-up was scheduled.
+    pub kind: WakeKind,
+    /// The worker the event concerns (0 for events not tied to a worker;
+    /// participates in the deterministic tie-break).
+    pub worker: usize,
+}
+
+impl WakeEvent {
+    /// An availability-transition wake-up for `worker` entering `to`.
+    pub fn transition(time: u64, worker: usize, to: ProcState) -> Self {
+        WakeEvent { time, kind: WakeKind::AvailabilityTransition { to }, worker }
+    }
+
+    /// A computation phase-completion wake-up.
+    pub fn completion(time: u64) -> Self {
+        WakeEvent { time, kind: WakeKind::PhaseCompletion, worker: 0 }
+    }
+
+    /// A forced scheduler re-evaluation wake-up.
+    pub fn reevaluate(time: u64) -> Self {
+        WakeEvent { time, kind: WakeKind::Reevaluate, worker: 0 }
+    }
+
+    /// Total order: by time, then kind rank, then worker id.
+    fn key(&self) -> (u64, u8, usize) {
+        (self.time, self.kind.rank(), self.worker)
+    }
+}
+
+impl Ord for WakeEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that the std max-heap pops the *earliest* event.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl PartialOrd for WakeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-heap of [`WakeEvent`]s.
+///
+/// The engine refills the queue after every executed slot (the heap's backing
+/// allocation is reused), pushes one candidate per possible cause, and pops
+/// the earliest event to find the next slot worth executing.
+#[derive(Debug, Default)]
+pub struct WakeQueue {
+    heap: BinaryHeap<WakeEvent>,
+}
+
+impl WakeQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WakeQueue::default()
+    }
+
+    /// Remove all events, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Schedule a wake-up.
+    pub fn push(&mut self, event: WakeEvent) {
+        self.heap.push(event);
+    }
+
+    /// Remove and return the earliest event (ties broken by kind, then
+    /// worker id).
+    pub fn pop(&mut self) -> Option<WakeEvent> {
+        self.heap.pop()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_earliest_time_first() {
+        let mut q = WakeQueue::new();
+        q.push(WakeEvent::reevaluate(9));
+        q.push(WakeEvent::completion(3));
+        q.push(WakeEvent::transition(7, 2, ProcState::Down));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().time, 3);
+        assert_eq!(q.pop().unwrap().time, 7);
+        assert_eq!(q.pop().unwrap().time, 9);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_kind_then_worker() {
+        let mut q = WakeQueue::new();
+        q.push(WakeEvent::reevaluate(5));
+        q.push(WakeEvent::transition(5, 3, ProcState::Up));
+        q.push(WakeEvent::completion(5));
+        q.push(WakeEvent::transition(5, 1, ProcState::Down));
+        let order: Vec<WakeEvent> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order[0], WakeEvent::transition(5, 1, ProcState::Down));
+        assert_eq!(order[1], WakeEvent::transition(5, 3, ProcState::Up));
+        assert_eq!(order[2], WakeEvent::completion(5));
+        assert_eq!(order[3], WakeEvent::reevaluate(5));
+    }
+
+    #[test]
+    fn insertion_order_never_matters() {
+        let events = [
+            WakeEvent::transition(2, 0, ProcState::Up),
+            WakeEvent::transition(2, 1, ProcState::Down),
+            WakeEvent::completion(2),
+            WakeEvent::reevaluate(1),
+        ];
+        let mut forward = WakeQueue::new();
+        let mut backward = WakeQueue::new();
+        for e in events {
+            forward.push(e);
+        }
+        for e in events.iter().rev() {
+            backward.push(*e);
+        }
+        let f: Vec<_> = std::iter::from_fn(|| forward.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| backward.pop()).collect();
+        assert_eq!(f, b);
+        assert_eq!(f[0], WakeEvent::reevaluate(1));
+    }
+
+    #[test]
+    fn clear_keeps_the_queue_usable() {
+        let mut q = WakeQueue::new();
+        q.push(WakeEvent::completion(1));
+        q.clear();
+        assert!(q.is_empty());
+        q.push(WakeEvent::completion(2));
+        assert_eq!(q.pop().unwrap().time, 2);
+    }
+}

@@ -98,10 +98,120 @@ pub enum Decision {
     NewConfiguration(Assignment),
 }
 
+/// When a scheduler's [`Scheduler::decide`] answer can change while the
+/// observable simulation state does not.
+///
+/// The slot-stepped engine consults the scheduler at every slot, so any
+/// decision rule is fine there. The event-driven engine
+/// ([`crate::SimMode::EventDriven`]) skips runs of slots during which the
+/// *world* is provably unchanged (no availability transition, no transfer
+/// completion) or changes only monotonically (uninterrupted lock-step
+/// computation). Skipping a slot also skips that slot's `decide` call, which
+/// is only sound if the answer could not have differed from the previous
+/// slot's. This struct is the scheduler's declaration of when that holds; the
+/// engine re-consults every slot whenever the corresponding flag is `true`.
+///
+/// The default ([`Reevaluation::every_slot`]) is fully conservative: an
+/// unknown scheduler is consulted at every slot of every span and the
+/// event-driven engine degrades gracefully to slot granularity (while still
+/// producing identical outcomes). Every heuristic in `dg-heuristics` falls in
+/// one of the patterns below and opts out of the consultations it does not
+/// need:
+///
+/// * passive-style schedulers (`RANDOM`, the passive heuristics `IP`/`IE`/
+///   `IY`/`IAY`, the fixed-assignment scheduler) never reconsider an
+///   installed configuration, so nothing beyond the configuration's own
+///   events matters: [`Reevaluation::never`];
+/// * proactive `P-*`/`E-*` heuristics over time-free bases are clock-free
+///   but *do* watch the rest of the platform — a worker crossing the `UP`
+///   boundary or an enrolled worker's download progressing can change the
+///   candidate — so they set `on_outside_transitions` and `during_transfer`
+///   while leaving the per-slot flags `false`;
+/// * with a yield-style decay on top (`Y-IP`/`Y-IE`/`Y-IAY`): while
+///   computation accumulates, the running configuration's yield can only
+///   improve relative to the (fixed) candidate, so additionally only
+///   *frozen* spans (suspension, stalled communication) need per-slot
+///   re-evaluation — `during_stall: true`;
+/// * when the candidate itself drifts with elapsed time (`*-IY`), every span
+///   with an installed configuration needs per-slot re-evaluation, but idle
+///   spans are still safe because whether a configuration *can* be built
+///   depends only on the `UP` set and worker capacities, never on the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reevaluation {
+    /// Consult `decide` every slot while an installed configuration is
+    /// accumulating lock-step computation (all members `UP`).
+    pub during_computation: bool,
+    /// Consult `decide` every slot while a configuration is installed but
+    /// frozen: computation suspended by a `RECLAIMED` member, or outstanding
+    /// communication that cannot progress.
+    pub during_stall: bool,
+    /// Consult `decide` every slot while no configuration is installed and no
+    /// worker changes state. Only needed by schedulers that may *start* a
+    /// configuration based on the clock alone.
+    pub while_idle: bool,
+    /// Consult `decide` every slot while the installed configuration is
+    /// downloading (transfers progressing). Transfer progress changes worker
+    /// holdings slot by slot, which proactive schedulers observe through
+    /// their candidate fingerprints; passive-style schedulers keep an
+    /// installed configuration unconditionally and can leave this `false`,
+    /// letting the engine jump between message completions.
+    pub during_transfer: bool,
+    /// While a configuration is installed, consult `decide` again when a
+    /// worker *outside* the configuration crosses the `UP` boundary (enters
+    /// or leaves `UP`). Proactive schedulers need this — a freshly available
+    /// fast worker can make switching worthwhile — while passive-style
+    /// schedulers never touch an installed configuration and can leave it
+    /// `false`, letting the engine sleep through unrelated churn.
+    ///
+    /// Regardless of this flag, the engine always wakes for transitions of
+    /// configuration members, for any worker entering `DOWN` while it holds
+    /// program or data (the crash must be applied at the right slot), and —
+    /// while idle — for any worker entering `UP` (which is the only change
+    /// that can make a configuration installable).
+    pub on_outside_transitions: bool,
+}
+
+impl Reevaluation {
+    /// Decisions are a pure function of the world state *visible to a passive
+    /// scheduler*: nothing depends on the clock, and an installed
+    /// configuration is never reconsidered, so only events involving its
+    /// members (or, while idle, workers entering `UP`) matter.
+    pub const fn never() -> Self {
+        Reevaluation {
+            during_computation: false,
+            during_stall: false,
+            while_idle: false,
+            on_outside_transitions: false,
+            during_transfer: false,
+        }
+    }
+
+    /// Conservative default: consult at every slot of every span.
+    pub const fn every_slot() -> Self {
+        Reevaluation {
+            during_computation: true,
+            during_stall: true,
+            while_idle: true,
+            on_outside_transitions: true,
+            during_transfer: true,
+        }
+    }
+}
+
+impl Default for Reevaluation {
+    fn default() -> Self {
+        Reevaluation::every_slot()
+    }
+}
+
 /// The scheduling policy driven by the simulator.
 ///
-/// The simulator calls [`Scheduler::decide`] exactly once per time-slot, before
-/// executing the slot. Implementations live in the `dg-heuristics` crate.
+/// The slot-stepped engine calls [`Scheduler::decide`] exactly once per
+/// time-slot, before executing the slot. The event-driven engine calls it at
+/// every *decision point* — any slot at which the scheduler's answer could
+/// differ from the previous slot's, as declared by
+/// [`Scheduler::reevaluation`] — and produces identical outcomes.
+/// Implementations live in the `dg-heuristics` crate.
 pub trait Scheduler {
     /// Human-readable name (e.g. `"Y-IE"`), used in reports.
     fn name(&self) -> &str;
@@ -112,6 +222,14 @@ pub trait Scheduler {
     /// Called when an iteration completes, so that stateful schedulers can
     /// reset per-iteration bookkeeping. The default does nothing.
     fn on_iteration_complete(&mut self, _completed: u64) {}
+
+    /// Declare when [`Scheduler::decide`] must be re-consulted even though
+    /// the observable simulation state did not change. The conservative
+    /// default re-consults every slot; see [`Reevaluation`] for the contract
+    /// and the patterns under which a scheduler may relax it.
+    fn reevaluation(&self) -> Reevaluation {
+        Reevaluation::every_slot()
+    }
 }
 
 #[cfg(test)]

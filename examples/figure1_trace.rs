@@ -9,7 +9,7 @@
 //! ```
 
 use desktop_grid_scheduling::prelude::*;
-use desktop_grid_scheduling::sim::EventLog;
+use desktop_grid_scheduling::sim::{EventLog, SimMode};
 
 fn main() {
     // Platform of Figure 1: five workers with w_i = i; only P2, P3, P4
@@ -36,8 +36,12 @@ fn main() {
     let assignment = Assignment::new([(1, 2), (2, 2), (3, 1)]);
     let mut scheduler = FixedAssignmentScheduler::new(assignment);
 
+    // Slot-stepped mode: this example is *about* the slot-by-slot log, so it
+    // uses the escape hatch instead of the default event-driven engine (which
+    // executes — and logs — only the state-changing slots).
     let (outcome, log) = Simulator::from_parts(platform, application, master, availability)
         .with_event_log(true)
+        .with_mode(SimMode::SlotStepped)
         .run(&mut scheduler);
 
     print_log(&log);

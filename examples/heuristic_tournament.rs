@@ -10,6 +10,7 @@
 use desktop_grid_scheduling::experiments::campaign::{run_campaign, CampaignConfig};
 use desktop_grid_scheduling::experiments::tables::{render_table, table_comparison};
 use desktop_grid_scheduling::heuristics::HeuristicSpec;
+use desktop_grid_scheduling::sim::SimMode;
 
 fn main() {
     // A miniature campaign: one experiment point (m = 5, ncom = 10, wmin = 2),
@@ -27,6 +28,7 @@ fn main() {
         base_seed: 2013,
         epsilon: 1e-7,
         threads: 1,
+        engine: SimMode::EventDriven,
     };
     eprintln!("running {} simulations...", config.total_runs());
     let results = run_campaign(&config, |done, total| {

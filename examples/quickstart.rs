@@ -34,7 +34,7 @@ fn main() {
         let availability = scenario.availability_for_trial(7, false);
         let mut scheduler = build_heuristic(name, 123, 1e-7).expect("known heuristic");
         let (outcome, _) = Simulator::new(&scenario, availability)
-            .with_limits(SimulationLimits::with_max_slots(200_000))
+            .with_limits(SimulationLimits::with_max_slots(200_000).unwrap())
             .run(scheduler.as_mut());
         match outcome.makespan {
             Some(makespan) => println!(

@@ -35,7 +35,7 @@
 //! // The paper's best heuristic, Y-IE.
 //! let mut scheduler = build_heuristic("Y-IE", 0, 1e-7).unwrap();
 //! let (outcome, _log) = Simulator::new(&scenario, availability)
-//!     .with_limits(SimulationLimits::with_max_slots(200_000))
+//!     .with_limits(SimulationLimits::with_max_slots(200_000).unwrap())
 //!     .run(scheduler.as_mut());
 //! assert!(outcome.completed_iterations <= 10);
 //! ```

@@ -6,6 +6,7 @@ use desktop_grid_scheduling::experiments::metrics::ReferenceComparison;
 use desktop_grid_scheduling::experiments::runner::{run_instance, InstanceSpec};
 use desktop_grid_scheduling::heuristics::HeuristicSpec;
 use desktop_grid_scheduling::prelude::*;
+use desktop_grid_scheduling::sim::SimMode;
 
 fn easy_scenario(seed: u64) -> Scenario {
     // m = 5 tasks, generous bandwidth, fast workers: every reasonable heuristic
@@ -23,6 +24,7 @@ fn every_heuristic_completes_an_easy_scenario() {
             9,
             500_000,
             1e-6,
+            SimMode::EventDriven,
         );
         assert!(
             outcome.success(),
@@ -57,6 +59,7 @@ fn informed_heuristics_beat_random_on_average() {
         base_seed: 555,
         epsilon: 1e-6,
         threads: 1,
+        engine: SimMode::EventDriven,
     };
     let results = run_campaign(&config, |_, _| {});
     let refs: Vec<_> = results.results.iter().collect();
@@ -86,8 +89,8 @@ fn simulation_is_deterministic_across_crate_boundaries() {
         trial_index: 3,
         heuristic: HeuristicSpec::parse("E-IAY").unwrap(),
     };
-    let a = run_instance(&scenario, &spec, 2024, 100_000, 1e-7);
-    let b = run_instance(&scenario, &spec, 2024, 100_000, 1e-7);
+    let a = run_instance(&scenario, &spec, 2024, 100_000, 1e-7, SimMode::EventDriven);
+    let b = run_instance(&scenario, &spec, 2024, 100_000, 1e-7, SimMode::EventDriven);
     assert_eq!(a, b);
 }
 
@@ -107,6 +110,7 @@ fn harder_instances_never_panic_and_respect_the_cap() {
             1,
             5_000,
             1e-6,
+            SimMode::EventDriven,
         );
         assert!(outcome.simulated_slots <= 5_000);
         if !outcome.success() {
@@ -121,7 +125,7 @@ fn prelude_workflow_from_crate_docs_compiles_and_runs() {
     let availability = scenario.availability_for_trial(7, false);
     let mut scheduler = build_heuristic("Y-IE", 0, 1e-7).unwrap();
     let (outcome, _log) = Simulator::new(&scenario, availability)
-        .with_limits(SimulationLimits::with_max_slots(200_000))
+        .with_limits(SimulationLimits::with_max_slots(200_000).unwrap())
         .run(scheduler.as_mut());
     assert!(outcome.completed_iterations <= 10);
 }

@@ -18,7 +18,7 @@ fn quickstart_flow_completes_under_a_small_cap() {
         let availability = scenario.availability_for_trial(7, false);
         let mut scheduler = build_heuristic(name, 123, 1e-7).expect("known heuristic");
         let (outcome, _) = Simulator::new(&scenario, availability)
-            .with_limits(SimulationLimits::with_max_slots(20_000))
+            .with_limits(SimulationLimits::with_max_slots(20_000).unwrap())
             .run(scheduler.as_mut());
         assert!(outcome.simulated_slots <= 20_000);
         assert!(outcome.completed_iterations <= outcome.target_iterations);

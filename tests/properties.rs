@@ -9,6 +9,7 @@ use desktop_grid_scheduling::offline::{
     greedy_mu1, greedy_mu_unbounded, solve_mu1_exact, solve_mu_unbounded_exact, OfflineInstance,
 };
 use desktop_grid_scheduling::prelude::*;
+use desktop_grid_scheduling::sim::SimMode;
 use proptest::prelude::*;
 
 /// Strategy for a valid paper-style Markov chain (self-loops in [0.5, 0.999]).
@@ -122,6 +123,7 @@ proptest! {
             seed,
             cap,
             1e-6,
+            SimMode::EventDriven,
         );
         prop_assert!(outcome.simulated_slots <= cap);
         prop_assert_eq!(outcome.target_iterations, 3);
@@ -139,5 +141,71 @@ proptest! {
         // the remaining counters cannot.)
         prop_assert!(outcome.stats.idle_slots + outcome.stats.stalled_slots
             + outcome.stats.computation_slots <= outcome.simulated_slots);
+    }
+
+    /// The headline guarantee of the event-driven engine: on random scenarios,
+    /// across every availability backend (lazy Markov, materialized trace set,
+    /// semi-Markov Weibull/log-normal traces) and every heuristic, slot-stepped
+    /// and event-driven runs produce byte-identical `SimOutcome`s.
+    #[test]
+    fn slot_and_event_engines_produce_identical_outcomes(
+        seed in 0u64..10_000,
+        wmin in 1u64..4,
+        ncom in 2usize..8,
+        heuristic_idx in 0usize..17,
+        backend in 0usize..3,
+    ) {
+        use desktop_grid_scheduling::availability::semi_markov::SemiMarkovModel;
+        use desktop_grid_scheduling::sim::{SimulationLimits, Simulator};
+
+        let cap = 20_000u64;
+        let scenario = Scenario::generate(
+            ScenarioParams { num_workers: 10, tasks_per_iteration: 4, ncom, wmin, iterations: 2 },
+            seed,
+        );
+        let heuristic = HeuristicSpec::all()[heuristic_idx];
+        let run = |mode: SimMode| {
+            let mut scheduler = heuristic.build(seed ^ 0x5EED, 1e-6);
+            let sim = match backend {
+                // Lazily realized Markov chains (the paper's model).
+                0 => {
+                    let availability = scenario.availability_for_trial(seed, false);
+                    Simulator::new(&scenario, availability)
+                        .with_limits(SimulationLimits::with_max_slots(cap).unwrap())
+                        .with_mode(mode)
+                        .run_with_report(scheduler.as_mut())
+                }
+                // The same realization replayed from a materialized TraceSet.
+                1 => {
+                    let traces = scenario.availability_for_trial(seed, false).materialize(cap);
+                    Simulator::new(&scenario, traces)
+                        .with_limits(SimulationLimits::with_max_slots(cap).unwrap())
+                        .with_mode(mode)
+                        .run_with_report(scheduler.as_mut())
+                }
+                // Semi-Markov (Weibull/log-normal) traces: the model-mismatch
+                // backend of the sensitivity study.
+                _ => {
+                    let models =
+                        vec![SemiMarkovModel::weibull_lognormal(30.0, 0.8, 0.3);
+                             scenario.platform.num_workers()];
+                    let traces = SemiMarkovModel::generate_set(&models, cap, seed);
+                    Simulator::new(&scenario, traces)
+                        .with_limits(SimulationLimits::with_max_slots(cap).unwrap())
+                        .with_mode(mode)
+                        .run_with_report(scheduler.as_mut())
+                }
+            };
+            sim
+        };
+        let (slot_outcome, _, slot_report) = run(SimMode::SlotStepped);
+        let (event_outcome, _, event_report) = run(SimMode::EventDriven);
+        prop_assert_eq!(
+            &slot_outcome, &event_outcome,
+            "{} on backend {} (seed {}) diverged between engines",
+            heuristic.name(), backend, seed
+        );
+        prop_assert_eq!(slot_report.executed_slots, slot_report.simulated_slots);
+        prop_assert!(event_report.executed_slots <= slot_report.executed_slots);
     }
 }
