@@ -18,7 +18,11 @@
 //!   `ncom` bound ([`comm`]);
 //! * the four scheduling criteria built on these quantities — probability of
 //!   success, expected completion time, yield and apparent yield
-//!   ([`criteria`]).
+//!   ([`criteria`]);
+//! * streaming accumulators for campaign-scale result reduction ([`streaming`]):
+//!   online mean/stdev (Welford, mergeable), per-trial win/fail tallies and
+//!   per-scenario relative differences, letting the experiment harness
+//!   aggregate its tables in O(points × heuristics) memory.
 //!
 //! The quantities are computed by truncating geometric-tail series up to a
 //! configurable precision `ε`, exactly as Theorem 5.1 prescribes; an
@@ -32,12 +36,14 @@ pub mod criteria;
 pub mod estimator;
 pub mod group;
 pub mod series;
+pub mod streaming;
 
 pub use comm::CommEstimate;
 pub use criteria::{apparent_yield, yield_metric, IterationEstimate};
 pub use estimator::Estimator;
 pub use group::{GroupComputation, GroupQuantities};
 pub use series::WorkerSeries;
+pub use streaming::{OnlineStats, ScenarioAccumulator, StreamingComparison, TrialTally};
 
 /// Default precision `ε` for the truncated series of Theorem 5.1.
 pub const DEFAULT_EPSILON: f64 = 1e-7;

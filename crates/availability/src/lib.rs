@@ -16,7 +16,10 @@
 //!   ([`semi_markov`]), used for the "model mismatch" sensitivity study the
 //!   paper lists as future work,
 //! * empirical statistics over traces ([`stats`]) and deterministic seeding
-//!   helpers ([`rng`]).
+//!   helpers ([`rng`]),
+//! * shared per-trial realizations ([`shared`]): realize a trial once and
+//!   replay it for every heuristic of the trial via cheap [`TrialReplay`]
+//!   handles instead of re-sampling the realization per heuristic.
 //!
 //! The crate is intentionally free of any scheduling logic: it only answers
 //! two questions — *"in which state is processor `q` at time-slot `t`?"*
@@ -53,6 +56,7 @@ pub mod markov;
 pub mod matrix;
 pub mod rng;
 pub mod semi_markov;
+pub mod shared;
 pub mod state;
 pub mod stats;
 pub mod trace;
@@ -60,6 +64,7 @@ pub mod trace;
 pub use markov::MarkovChain3;
 pub use matrix::{Matrix2, Matrix3};
 pub use semi_markov::{HoldingTime, SemiMarkovModel};
+pub use shared::{RealizedTrial, TrialReplay};
 pub use state::{ProcState, StateTrace};
 pub use stats::TraceStats;
 pub use trace::{AvailabilityModel, MarkovAvailability, ScriptedAvailability, TraceSet};

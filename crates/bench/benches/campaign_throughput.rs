@@ -1,0 +1,107 @@
+//! Bench target for the **campaign executor** (Section VII harness): the same
+//! multi-heuristic campaign run through the sharded executor — which realizes
+//! each trial's availability once and replays it for every heuristic
+//! (`RealizedTrial`) — versus the per-instance path that re-realizes the
+//! trial for every heuristic, the pre-executor behavior.
+//!
+//! Besides wall-clock, the bench prints the availability-realization counts
+//! of both paths and asserts the executor performs `heuristics`× fewer — the
+//! quantity the shared per-trial handle is about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_experiments::campaign::CampaignConfig;
+use dg_experiments::executor::{run_campaign_with, ExecutorOptions};
+use dg_experiments::runner::{run_instance, InstanceSpec};
+use dg_heuristics::HeuristicSpec;
+use dg_platform::Scenario;
+use std::time::Duration;
+
+/// One multi-heuristic experiment point: 8 heuristics share each trial.
+fn bench_config() -> CampaignConfig {
+    let mut config = CampaignConfig::smoke();
+    config.m_values = vec![5];
+    config.ncom_values = vec![10];
+    config.wmin_values = vec![2];
+    config.num_workers = 12;
+    config.iterations = 3;
+    config.scenarios_per_point = 1;
+    config.trials_per_scenario = 2;
+    config.max_slots = 30_000;
+    config.heuristics = ["IE", "IAY", "IY", "IP", "Y-IE", "P-IE", "E-IAY", "RANDOM"]
+        .iter()
+        .map(|n| HeuristicSpec::parse(n).expect("heuristic name"))
+        .collect();
+    config
+}
+
+/// The pre-executor path: every instance realizes the trial's availability
+/// itself (`run_instance`), so a trial is realized once **per heuristic**.
+fn per_instance_campaign(config: &CampaignConfig) -> usize {
+    let points = config.points();
+    let mut realizations = 0;
+    for (point_index, &params) in points.iter().enumerate() {
+        for scenario_index in 0..config.scenarios_per_point {
+            let seed = dg_availability::rng::derive_seed(
+                config.base_seed,
+                (point_index as u64) << 20 | scenario_index as u64,
+            );
+            let scenario = Scenario::generate(params, seed);
+            for trial_index in 0..config.trials_per_scenario {
+                for heuristic in &config.heuristics {
+                    let spec = InstanceSpec { scenario_index, trial_index, heuristic: *heuristic };
+                    let outcome = run_instance(
+                        &scenario,
+                        &spec,
+                        config.base_seed,
+                        config.max_slots,
+                        config.epsilon,
+                        config.engine,
+                    );
+                    criterion::black_box(outcome);
+                    realizations += 1;
+                }
+            }
+        }
+    }
+    realizations
+}
+
+fn campaign_throughput(c: &mut Criterion) {
+    let config = bench_config();
+
+    // Realization accounting, printed once: the executor realizes per trial,
+    // the per-instance path per (trial, heuristic).
+    let outcome = run_campaign_with(&config, &ExecutorOptions::new(), |_, _| {})
+        .expect("store-less campaign cannot fail");
+    let per_instance_realizations = per_instance_campaign(&config);
+    println!(
+        "availability realizations per campaign: executor (shared trials) = {}, \
+         per-instance = {} ({}x fewer)",
+        outcome.stats.trials_realized,
+        per_instance_realizations,
+        per_instance_realizations / outcome.stats.trials_realized.max(1),
+    );
+    assert_eq!(
+        outcome.stats.trials_realized * config.heuristics.len(),
+        per_instance_realizations,
+        "shared trials must realize availability heuristics-times less often"
+    );
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("shared_trial_executor", |b| {
+        b.iter(|| {
+            run_campaign_with(&config, &ExecutorOptions::new(), |_, _| {})
+                .expect("store-less campaign cannot fail")
+        });
+    });
+    group.bench_function("per_instance_realization", |b| {
+        b.iter(|| per_instance_campaign(&config));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, campaign_throughput);
+criterion_main!(benches);

@@ -14,6 +14,7 @@
 //! | `offline` | Theorem 4.1 | exact vs greedy OFF-LINE-COUPLED solvers, ENCD reduction |
 //! | `sensitivity` | Section VII-B extension | Markov vs semi-Markov availability runs |
 //! | `engine_event_vs_slot` | Section III substrate | event-driven vs slot-stepped engine on identical workloads |
+//! | `campaign_throughput` | Section VII harness | sharded executor (one availability realization per trial) vs per-instance realization |
 //!
 //! The criterion benches intentionally run *scaled-down slices* so that
 //! `cargo bench --workspace` completes on a single core; the full tables and

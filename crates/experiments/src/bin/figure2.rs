@@ -3,11 +3,12 @@
 //! Table II (E-IAY, E-IP, E-IY, IAY, IE, IY, P-IE, Y-IE).
 //!
 //! ```text
-//! cargo run --release -p dg-experiments --bin figure2 -- [--scenarios N] [--trials N] [--full]
+//! cargo run --release -p dg-experiments --bin figure2 -- [--scenarios N] [--trials N] [--full] \
+//!     [--out DIR] [--resume]
 //! ```
 
-use dg_experiments::campaign::run_campaign;
 use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::executor::{resolve_threads, run_campaign_with};
 use dg_experiments::figures::Figure;
 use dg_heuristics::HeuristicSpec;
 
@@ -28,7 +29,7 @@ fn main() {
         .collect();
     let config = opts.campaign().with_m(10).with_heuristics(heuristics);
     eprintln!(
-        "Figure 2 campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine)",
+        "Figure 2 campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
@@ -36,8 +37,25 @@ fn main() {
         config.total_runs(),
         config.max_slots,
         config.engine,
+        resolve_threads(config.threads),
     );
-    let results = run_campaign(&config, progress_reporter(opts.quiet));
+    let outcome = match run_campaign_with(&config, &opts.executor(), progress_reporter(opts.quiet))
+    {
+        Ok(outcome) => outcome,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = &opts.out {
+        eprintln!(
+            "  artifacts: {} ({} instances resumed, {} executed)",
+            dir.display(),
+            outcome.stats.resumed_instances,
+            outcome.stats.executed_instances,
+        );
+    }
+    let results = outcome.results;
     let names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
     let figure = Figure::compute(&results, 10, "IE", &names);
     println!("{}", figure.render());

@@ -3,11 +3,12 @@
 //! Figure 2 series. This is the binary used to populate `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run --release -p dg-experiments --bin report -- [--scenarios N] [--trials N] [--full]
+//! cargo run --release -p dg-experiments --bin report -- [--scenarios N] [--trials N] [--full] \
+//!     [--out DIR] [--resume]
 //! ```
 
-use dg_experiments::campaign::run_campaign;
 use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::executor::{resolve_threads, run_campaign_with};
 use dg_experiments::figures::Figure;
 use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
 
@@ -23,7 +24,7 @@ fn main() {
     };
     let config = opts.campaign();
     eprintln!(
-        "Full campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine)",
+        "Full campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
@@ -31,10 +32,29 @@ fn main() {
         config.total_runs(),
         config.max_slots,
         config.engine,
+        resolve_threads(config.threads),
     );
     let start = std::time::Instant::now();
-    let results = run_campaign(&config, progress_reporter(opts.quiet));
-    eprintln!("campaign finished in {:.1} s", start.elapsed().as_secs_f64());
+    let outcome = match run_campaign_with(&config, &opts.executor(), progress_reporter(opts.quiet))
+    {
+        Ok(outcome) => outcome,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "campaign finished in {:.1} s ({} trial realizations for {} instances{})",
+        start.elapsed().as_secs_f64(),
+        outcome.stats.trials_realized,
+        outcome.stats.total_instances,
+        if opts.out.is_some() {
+            format!(", {} resumed", outcome.stats.resumed_instances)
+        } else {
+            String::new()
+        },
+    );
+    let results = outcome.results;
 
     let names = results.heuristic_names();
 

@@ -3,11 +3,13 @@
 //! semi-Markov (Weibull / log-normal) traces with matched mean sojourns.
 //!
 //! ```text
-//! cargo run --release -p dg-experiments --bin sensitivity -- [--scenarios N] [--trials N]
+//! cargo run --release -p dg-experiments --bin sensitivity -- [--scenarios N] [--trials N] \
+//!     [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::CliOptions;
-use dg_experiments::sensitivity::{render_sensitivity, run_sensitivity, SensitivityConfig};
+use dg_experiments::executor::resolve_threads;
+use dg_experiments::sensitivity::{render_sensitivity, run_sensitivity_with, SensitivityConfig};
 use dg_heuristics::HeuristicSpec;
 use dg_platform::ScenarioParams;
 
@@ -34,15 +36,26 @@ fn main() {
         epsilon: dg_analysis::DEFAULT_EPSILON,
         weibull_shape: 0.7,
         engine: opts.engine,
+        threads: opts.threads,
     };
     eprintln!(
-        "Sensitivity campaign: {} points x {} scenarios x {} trials x {} heuristics (x2 models, {} engine)",
+        "Sensitivity campaign: {} points x {} scenarios x {} trials x {} heuristics (x2 models, {} engine, {} threads)",
         config.points.len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
         config.heuristics.len(),
         config.engine,
+        resolve_threads(config.threads),
     );
-    let results = run_sensitivity(&config);
+    let results = match run_sensitivity_with(&config, opts.out.as_deref(), opts.resume) {
+        Ok(results) => results,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = &opts.out {
+        eprintln!("  artifacts: {}", dir.display());
+    }
     println!("{}", render_sensitivity(&results, "IE", &heuristic_names));
 }

@@ -3,11 +3,12 @@
 //! stays below +50 % — plus the full table for completeness.
 //!
 //! ```text
-//! cargo run --release -p dg-experiments --bin table2 -- [--scenarios N] [--trials N] [--full]
+//! cargo run --release -p dg-experiments --bin table2 -- [--scenarios N] [--trials N] [--full] \
+//!     [--out DIR] [--resume]
 //! ```
 
-use dg_experiments::campaign::run_campaign;
 use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::executor::{resolve_threads, run_campaign_with};
 use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
 
 fn main() {
@@ -20,7 +21,7 @@ fn main() {
     };
     let config = opts.campaign().with_m(10);
     eprintln!(
-        "Table II campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine)",
+        "Table II campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
@@ -28,8 +29,25 @@ fn main() {
         config.total_runs(),
         config.max_slots,
         config.engine,
+        resolve_threads(config.threads),
     );
-    let results = run_campaign(&config, progress_reporter(opts.quiet));
+    let outcome = match run_campaign_with(&config, &opts.executor(), progress_reporter(opts.quiet))
+    {
+        Ok(outcome) => outcome,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = &opts.out {
+        eprintln!(
+            "  artifacts: {} ({} instances resumed, {} executed)",
+            dir.display(),
+            outcome.stats.resumed_instances,
+            outcome.stats.executed_instances,
+        );
+    }
+    let results = outcome.results;
     let subset: Vec<_> = results.results.iter().collect();
     let comparison = table_comparison(&subset, "IE", &results.heuristic_names());
     println!(

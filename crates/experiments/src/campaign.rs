@@ -1,13 +1,19 @@
 //! Full factorial experiment campaigns over the paper's experiment space.
+//!
+//! This module holds the campaign **description** ([`CampaignConfig`]) and
+//! **result** types ([`InstanceResult`], [`CampaignResults`]); execution
+//! lives in [`crate::executor`], which shards the campaign over worker
+//! threads, realizes each trial's availability once for all its heuristics,
+//! streams results into [`crate::stream::CampaignAccumulator`] cells and can
+//! checkpoint/resume through [`crate::store`]. [`run_campaign`] is the
+//! retained-results convenience wrapper the table/figure binaries and older
+//! call sites use.
 
-use crate::runner::{run_instance, InstanceSpec};
-use dg_availability::rng::derive_seed;
+use crate::executor::{run_campaign_with, ExecutorOptions};
 use dg_heuristics::HeuristicSpec;
-use dg_platform::{Scenario, ScenarioParams};
+use dg_platform::ScenarioParams;
 use dg_sim::{SimMode, SimOutcome};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Configuration of an experiment campaign.
 ///
@@ -40,7 +46,8 @@ pub struct CampaignConfig {
     pub base_seed: u64,
     /// Precision `ε` of the Section V estimates.
     pub epsilon: f64,
-    /// Worker threads to use (1 = sequential).
+    /// Worker threads to use (1 = sequential, 0 = auto-detect the machine's
+    /// available parallelism; see [`crate::executor::resolve_threads`]).
     pub threads: usize,
     /// Simulation engine mode every run executes under. The event-driven
     /// engine (default) and the slot-stepper produce identical results; see
@@ -183,84 +190,29 @@ impl CampaignResults {
     }
 }
 
-/// Seed used to generate scenario `scenario_index` of `point_index`.
-fn scenario_seed(base_seed: u64, point_index: usize, scenario_index: usize) -> u64 {
-    derive_seed(base_seed, (point_index as u64) << 20 | scenario_index as u64)
-}
-
-/// Run a campaign. Jobs (one per scenario) are distributed over
-/// `config.threads` worker threads; progress is reported through `on_progress`
-/// with `(completed_runs, total_runs)` after every finished run.
+/// Run a campaign and retain every instance result.
+///
+/// Jobs (one per `(point, scenario)` pair) are distributed over
+/// `config.threads` worker threads (`0` = auto-detect); progress is reported
+/// through `on_progress` with `(completed_runs, total_runs)` after every
+/// finished run. Results are in canonical order (point-major, then scenario,
+/// trial, heuristic) regardless of the thread count. This is the
+/// raw-retention convenience wrapper around
+/// [`crate::executor::run_campaign_with`], which additionally offers
+/// streaming-only aggregation and a resumable artifact store.
 pub fn run_campaign<F>(config: &CampaignConfig, on_progress: F) -> CampaignResults
 where
     F: Fn(usize, usize) + Sync,
 {
-    let points = config.points();
-    // One job per (point, scenario): the scenario is generated once and all its
-    // trials and heuristics run on the same thread.
-    let jobs: Vec<(usize, usize)> = (0..points.len())
-        .flat_map(|p| (0..config.scenarios_per_point).map(move |s| (p, s)))
-        .collect();
-    let total_runs = config.total_runs();
-    let next_job = AtomicUsize::new(0);
-    let done_runs = AtomicUsize::new(0);
-    let results: Mutex<Vec<InstanceResult>> = Mutex::new(Vec::with_capacity(total_runs));
-
-    // Fan the jobs out over `config.threads` scoped worker threads pulling
-    // from a shared atomic work queue. `std::thread::scope` lets the workers
-    // borrow `jobs`, `points` and `config` directly, and propagates any worker
-    // panic when the scope closes.
-    let num_threads = config.threads.max(1).min(jobs.len().max(1));
-    std::thread::scope(|scope| {
-        let worker = || loop {
-            let job = next_job.fetch_add(1, Ordering::Relaxed);
-            if job >= jobs.len() {
-                break;
-            }
-            let (point_index, scenario_index) = jobs[job];
-            let params = points[point_index];
-            let seed = scenario_seed(config.base_seed, point_index, scenario_index);
-            let scenario = Scenario::generate(params, seed);
-            let mut local = Vec::new();
-            for trial_index in 0..config.trials_per_scenario {
-                for heuristic in &config.heuristics {
-                    let spec = InstanceSpec { scenario_index, trial_index, heuristic: *heuristic };
-                    let outcome = run_instance(
-                        &scenario,
-                        &spec,
-                        config.base_seed,
-                        config.max_slots,
-                        config.epsilon,
-                        config.engine,
-                    );
-                    local.push(InstanceResult {
-                        params,
-                        scenario_index,
-                        trial_index,
-                        heuristic: heuristic.name(),
-                        outcome,
-                    });
-                    let done = done_runs.fetch_add(1, Ordering::Relaxed) + 1;
-                    on_progress(done, total_runs);
-                }
-            }
-            results.lock().expect("campaign results mutex poisoned").extend(local);
-        };
-        // The scope itself acts as the last worker, so `threads = 1` runs the
-        // whole campaign on the calling thread with no spawn at all.
-        for _ in 1..num_threads {
-            scope.spawn(worker);
-        }
-        worker();
-    });
-
-    let results = results.into_inner().expect("campaign results mutex poisoned");
-    CampaignResults { config: config.clone(), results }
+    run_campaign_with(config, &ExecutorOptions::new().retain_raw(true), on_progress)
+        .expect("a campaign without an artifact store cannot fail")
+        .results
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn paper_full_config_matches_paper_scale() {
@@ -315,16 +267,9 @@ mod tests {
         let sequential = run_campaign(&config, |_, _| {});
         config.threads = 4;
         let parallel = run_campaign(&config, |_, _| {});
-        // Same multiset of results regardless of thread interleaving.
-        let key = |r: &InstanceResult| {
-            (r.params.wmin, r.scenario_index, r.trial_index, r.heuristic.clone())
-        };
-        let mut s: Vec<_> =
-            sequential.results.iter().map(|r| (key(r), r.outcome.clone())).collect();
-        let mut p: Vec<_> = parallel.results.iter().map(|r| (key(r), r.outcome.clone())).collect();
-        s.sort_by(|a, b| a.0.cmp(&b.0));
-        p.sort_by(|a, b| a.0.cmp(&b.0));
-        assert_eq!(s, p);
+        // Slot-indexed placement: not just the same multiset of results — the
+        // exact same canonical order, independent of thread interleaving.
+        assert_eq!(sequential.results, parallel.results);
     }
 
     #[test]

@@ -8,15 +8,20 @@
 //! --cap N          slot cap per run                          [default 200000]
 //! --ncom LIST      comma-separated ncom values               [default 5,10,20]
 //! --wmin LIST      comma-separated wmin values               [default 1..10]
-//! --threads N      worker threads                            [default 1]
+//! --threads N      worker threads, 0 = auto-detect           [default 1]
 //! --seed N         master seed                               [default 20130520]
 //! --engine MODE    simulation engine: event | slot           [default event]
+//! --out DIR        write manifest + JSONL shards to DIR as
+//!                  experiment points complete
+//! --resume         skip instances already present in --out
 //! --full           the paper's full scale (10×10, cap 10⁶)
 //! --quiet          suppress progress output
 //! ```
 
 use crate::campaign::CampaignConfig;
+use crate::executor::ExecutorOptions;
 use dg_sim::SimMode;
+use std::path::PathBuf;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,12 +36,16 @@ pub struct CliOptions {
     pub ncom_values: Vec<usize>,
     /// `wmin` values to sweep.
     pub wmin_values: Vec<u64>,
-    /// Worker threads.
+    /// Worker threads (`--threads 0` = auto-detect available parallelism).
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
     /// Simulation engine mode (`--engine slot|event`).
     pub engine: SimMode,
+    /// Artifact store directory (`--out`).
+    pub out: Option<PathBuf>,
+    /// Resume from the artifact store (`--resume`; requires `--out`).
+    pub resume: bool,
     /// Suppress progress output.
     pub quiet: bool,
 }
@@ -52,6 +61,8 @@ impl Default for CliOptions {
             threads: 1,
             seed: 20130520,
             engine: SimMode::default(),
+            out: None,
+            resume: false,
             quiet: false,
         }
     }
@@ -82,6 +93,8 @@ impl CliOptions {
                 "--ncom" => opts.ncom_values = parse_list(&take(arg)?, arg)?,
                 "--engine" => opts.engine = take(arg)?.parse()?,
                 "--wmin" => opts.wmin_values = parse_list(&take(arg)?, arg)?,
+                "--out" => opts.out = Some(PathBuf::from(take(arg)?)),
+                "--resume" => opts.resume = true,
                 "--full" => {
                     opts.scenarios = 10;
                     opts.trials = 10;
@@ -97,6 +110,9 @@ impl CliOptions {
         }
         if opts.max_slots == 0 {
             return Err("--cap must be positive".to_string());
+        }
+        if opts.resume && opts.out.is_none() {
+            return Err("--resume requires --out".to_string());
         }
         Ok(opts)
     }
@@ -116,6 +132,16 @@ impl CliOptions {
         config.engine = self.engine;
         config
     }
+
+    /// Build the executor options (raw retention on — the binaries' table and
+    /// figure code consumes retained results — plus `--out`/`--resume`).
+    pub fn executor(&self) -> ExecutorOptions {
+        let mut options = ExecutorOptions::new().retain_raw(true);
+        if let Some(dir) = &self.out {
+            options = options.store(dir.clone(), self.resume);
+        }
+        options
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
@@ -128,7 +154,8 @@ fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, S
 
 fn help_text() -> String {
     "usage: <binary> [--scenarios N] [--trials N] [--cap N] [--ncom a,b,c] \
-     [--wmin a,b,c] [--threads N] [--seed N] [--engine slot|event] [--full] [--quiet]"
+     [--wmin a,b,c] [--threads N (0 = auto)] [--seed N] [--engine slot|event] \
+     [--out DIR] [--resume] [--full] [--quiet]"
         .to_string()
 }
 
@@ -212,6 +239,24 @@ mod tests {
         assert_eq!(slot.campaign().engine, SimMode::SlotStepped);
         let event = CliOptions::parse(["--engine", "event"]).unwrap();
         assert_eq!(event.engine, SimMode::EventDriven);
+    }
+
+    #[test]
+    fn out_resume_and_auto_threads_flags() {
+        let opts =
+            CliOptions::parse(["--out", "results/run1", "--resume", "--threads", "0"]).unwrap();
+        assert_eq!(opts.out.as_deref(), Some(std::path::Path::new("results/run1")));
+        assert!(opts.resume);
+        assert_eq!(opts.threads, 0); // resolved to available parallelism later
+        let executor = opts.executor();
+        assert!(executor.retain_raw);
+        assert!(executor.resume);
+        assert_eq!(executor.out.as_deref(), Some(std::path::Path::new("results/run1")));
+
+        // --resume without --out is rejected; no store by default.
+        assert!(CliOptions::parse(["--resume"]).is_err());
+        let plain = CliOptions::parse(Vec::<&str>::new()).unwrap().executor();
+        assert!(plain.out.is_none() && !plain.resume);
     }
 
     #[test]

@@ -4,9 +4,17 @@
 //! of *"Scheduling Tightly-Coupled Applications on Heterogeneous Desktop
 //! Grids"* (Casanova, Dufossé, Robert, Vivien — HCW/IPDPS 2013):
 //!
-//! * [`campaign`] — runs the full factorial campaign over the experiment space
-//!   `(m, ncom, wmin)`, with a configurable number of scenarios and trials per
-//!   point, across all 17 heuristics, on a worker-thread pool;
+//! * [`campaign`] — describes the full factorial campaign over the experiment
+//!   space `(m, ncom, wmin)`, with a configurable number of scenarios and
+//!   trials per point, across all 17 heuristics;
+//! * [`executor`] — the sharded campaign executor: deterministic slot-indexed
+//!   fan-out over worker threads, one shared availability realization per
+//!   trial ([`dg_availability::RealizedTrial`]), streaming aggregation and an
+//!   optional resumable artifact store;
+//! * [`store`] — the on-disk store behind `--out`/`--resume`: a manifest plus
+//!   one JSONL shard per experiment point, written as points complete;
+//! * [`stream`] — streaming reduction of results into table/figure summaries
+//!   in O(points × heuristics) memory;
 //! * [`runner`] — runs a single `(scenario, trial, heuristic)` instance through
 //!   the `dg-sim` engine;
 //! * [`metrics`] — computes the paper's comparison metrics against the
@@ -38,13 +46,20 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod executor;
 pub mod figures;
 pub mod metrics;
 pub mod runner;
 pub mod sensitivity;
+pub mod store;
+pub mod stream;
 pub mod tables;
 
 pub use campaign::{CampaignConfig, CampaignResults, InstanceResult};
+pub use executor::{
+    resolve_threads, run_campaign_with, CampaignOutcome, ExecutorOptions, ExecutorStats,
+};
 pub use metrics::{HeuristicSummary, ReferenceComparison};
-pub use runner::{run_instance, run_instance_with_report, InstanceSpec};
+pub use runner::{run_instance, run_instance_on, run_instance_with_report, InstanceSpec};
+pub use stream::CampaignAccumulator;
 pub use tables::render_table;

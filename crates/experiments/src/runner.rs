@@ -1,6 +1,7 @@
 //! Execution of a single experiment instance.
 
 use dg_availability::rng::derive_seed;
+use dg_availability::AvailabilityModel;
 use dg_heuristics::HeuristicSpec;
 use dg_platform::Scenario;
 use dg_sim::{EngineReport, SimMode, SimOutcome, SimulationLimits, Simulator};
@@ -58,6 +59,28 @@ pub fn run_instance_with_report(
 ) -> (SimOutcome, EngineReport) {
     let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
     let availability = scenario.availability_for_trial(seed, false);
+    run_instance_on(scenario, spec, availability, base_seed, max_slots, epsilon, mode)
+}
+
+/// Run one instance on a **pre-realized** availability model instead of
+/// realizing the trial from its seed. This is the entry point the campaign
+/// executor uses to share one [`dg_availability::RealizedTrial`] across all
+/// heuristics of a trial (handing each a replay); the scheduler seed is
+/// derived exactly as in [`run_instance`], so for an availability model
+/// equivalent to the trial's canonical realization the outcome is identical.
+///
+/// # Panics
+/// Panics if `max_slots` is zero (see [`SimulationLimits::with_max_slots`]).
+pub fn run_instance_on<A: AvailabilityModel>(
+    scenario: &Scenario,
+    spec: &InstanceSpec,
+    availability: A,
+    base_seed: u64,
+    max_slots: u64,
+    epsilon: f64,
+    mode: SimMode,
+) -> (SimOutcome, EngineReport) {
+    let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
     // The RANDOM heuristic gets its own stream so that its draws are not
     // correlated with the availability realization.
     let mut scheduler = spec.heuristic.build(derive_seed(seed, 0x5EED), epsilon);
@@ -145,6 +168,36 @@ mod tests {
                 slot_report.executed_slots
             );
         }
+    }
+
+    #[test]
+    fn shared_trial_replay_matches_per_instance_realization() {
+        // One RealizedTrial serving several heuristics produces exactly the
+        // outcomes per-heuristic realization does — the equivalence the
+        // campaign executor's availability reuse rests on.
+        use dg_availability::RealizedTrial;
+        let scenario = Scenario::generate(ScenarioParams::paper(5, 10, 2), 9);
+        let seed = trial_seed(42, scenario.seed, 0);
+        let trial = RealizedTrial::new(scenario.availability_for_trial(seed, false));
+        for name in ["IE", "Y-IE", "E-IAY", "RANDOM"] {
+            let spec = InstanceSpec {
+                scenario_index: 0,
+                trial_index: 0,
+                heuristic: HeuristicSpec::parse(name).unwrap(),
+            };
+            let fresh = run_instance(&scenario, &spec, 42, 30_000, 1e-7, SimMode::EventDriven);
+            let (shared, _) = run_instance_on(
+                &scenario,
+                &spec,
+                trial.replay(),
+                42,
+                30_000,
+                1e-7,
+                SimMode::EventDriven,
+            );
+            assert_eq!(fresh, shared, "{name} diverged on a shared realization");
+        }
+        assert_eq!(trial.replay_count(), 4);
     }
 
     #[test]

@@ -9,15 +9,17 @@
 //! degrades — quantifying the robustness question raised in Section VII-B.
 
 use crate::campaign::InstanceResult;
+use crate::executor::{fan_out, resolve_threads, scenario_seed};
 use crate::metrics::ReferenceComparison;
-use crate::runner::trial_seed;
-use dg_availability::rng::derive_seed;
+use crate::runner::{run_instance_on, trial_seed, InstanceSpec};
+use crate::store::{encode_instance, CampaignStore, ShardWriter, StoredInstance};
 use dg_availability::semi_markov::SemiMarkovModel;
-use dg_availability::ProcState;
+use dg_availability::{ProcState, RealizedTrial};
 use dg_heuristics::HeuristicSpec;
 use dg_platform::{Scenario, ScenarioParams};
-use dg_sim::{SimMode, SimulationLimits, Simulator};
+use dg_sim::SimMode;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Configuration of the sensitivity experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +42,8 @@ pub struct SensitivityConfig {
     pub weibull_shape: f64,
     /// Simulation engine mode every run executes under.
     pub engine: SimMode,
+    /// Worker threads (`0` = auto-detect available parallelism).
+    pub threads: usize,
 }
 
 impl SensitivityConfig {
@@ -58,6 +62,7 @@ impl SensitivityConfig {
             epsilon: dg_analysis::DEFAULT_EPSILON,
             weibull_shape: 0.7,
             engine: SimMode::default(),
+            threads: 1,
         }
     }
 }
@@ -90,52 +95,224 @@ pub fn matched_semi_markov_models(scenario: &Scenario, weibull_shape: f64) -> Ve
         .collect()
 }
 
-/// Run the sensitivity experiment sequentially.
+/// Tag of the Markov arm in the artifact store.
+const MODEL_MARKOV: &str = "markov";
+/// Tag of the semi-Markov arm in the artifact store.
+const MODEL_SEMI: &str = "semi";
+
+/// The canonical JSON fingerprint of everything in a [`SensitivityConfig`]
+/// that determines results (`threads` and `engine` excluded — see
+/// [`crate::executor::config_fingerprint`] for the rationale).
+pub fn sensitivity_fingerprint(config: &SensitivityConfig) -> String {
+    let points = config
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "[{},{},{},{},{}]",
+                p.num_workers, p.tasks_per_iteration, p.ncom, p.wmin, p.iterations
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"kind\":\"sensitivity\",\"points\":[{points}],\"scenarios\":{},\"trials\":{},\
+         \"cap\":{},\"heuristics\":[{}],\"seed\":{},\"epsilon\":{:?},\"weibull_shape\":{:?}}}",
+        config.scenarios_per_point,
+        config.trials_per_scenario,
+        config.max_slots,
+        config.heuristics.iter().map(|h| format!("\"{}\"", h.name())).collect::<Vec<_>>().join(","),
+        config.base_seed,
+        config.epsilon,
+        config.weibull_shape,
+    )
+}
+
+/// Slot of a stored record in the flat `(markov, semi)` pair layout, or
+/// `None` if it does not belong to this configuration.
+fn sensitivity_slot(record: &StoredInstance, config: &SensitivityConfig) -> Option<usize> {
+    let p = record.point_index;
+    let r = &record.result;
+    if config.points.get(p) != Some(&r.params)
+        || r.scenario_index >= config.scenarios_per_point
+        || r.trial_index >= config.trials_per_scenario
+    {
+        return None;
+    }
+    let h = config.heuristics.iter().position(|spec| spec.name() == r.heuristic)?;
+    let model = match record.model.as_deref() {
+        Some(MODEL_MARKOV) => 0,
+        Some(MODEL_SEMI) => 1,
+        _ => return None,
+    };
+    let job = p * config.scenarios_per_point + r.scenario_index;
+    Some(
+        ((job * config.trials_per_scenario + r.trial_index) * config.heuristics.len() + h) * 2
+            + model,
+    )
+}
+
+/// Run the sensitivity experiment.
+///
+/// Equivalent to [`run_sensitivity_with`] without an artifact store; the
+/// store-less run cannot fail.
 pub fn run_sensitivity(config: &SensitivityConfig) -> SensitivityResults {
-    let limits = SimulationLimits::with_max_slots(config.max_slots).expect("positive slot cap");
-    let mut markov = Vec::new();
-    let mut semi = Vec::new();
-    for (point_index, &params) in config.points.iter().enumerate() {
-        for scenario_index in 0..config.scenarios_per_point {
-            let seed =
-                derive_seed(config.base_seed, (point_index as u64) << 20 | scenario_index as u64);
-            let scenario = Scenario::generate(params, seed);
-            let models = matched_semi_markov_models(&scenario, config.weibull_shape);
-            for trial_index in 0..config.trials_per_scenario {
-                let availability_seed = trial_seed(config.base_seed, scenario.seed, trial_index);
-                // The semi-Markov trace is shared by every heuristic of the trial.
-                let semi_traces =
-                    SemiMarkovModel::generate_set(&models, config.max_slots, availability_seed);
-                for heuristic in &config.heuristics {
-                    let record = |outcome| InstanceResult {
-                        params,
-                        scenario_index,
-                        trial_index,
-                        heuristic: heuristic.name(),
-                        outcome,
-                    };
-                    // Markov run.
-                    let markov_avail = scenario.availability_for_trial(availability_seed, false);
-                    let mut sched =
-                        heuristic.build(derive_seed(availability_seed, 0x5EED), config.epsilon);
-                    let (outcome, _) = Simulator::new(&scenario, markov_avail)
-                        .with_limits(limits)
-                        .with_mode(config.engine)
-                        .run(sched.as_mut());
-                    markov.push(record(outcome));
-                    // Semi-Markov run on the same scenario.
-                    let mut sched =
-                        heuristic.build(derive_seed(availability_seed, 0x5EED), config.epsilon);
-                    let (outcome, _) = Simulator::new(&scenario, semi_traces.clone())
-                        .with_limits(limits)
-                        .with_mode(config.engine)
-                        .run(sched.as_mut());
-                    semi.push(record(outcome));
-                }
+    run_sensitivity_with(config, None, false)
+        .expect("a sensitivity run without an artifact store cannot fail")
+}
+
+/// Run the sensitivity experiment, fanning `(point, scenario)` jobs out over
+/// `config.threads` worker threads (`0` = auto-detect) with deterministic,
+/// thread-count-independent result ordering. Each trial realizes its Markov
+/// availability and generates its semi-Markov trace **once**, shared by every
+/// heuristic of the trial through [`RealizedTrial`] replays.
+///
+/// With `out` set, results are checkpointed to model-tagged JSONL shards (one
+/// per experiment point, written as the point completes) next to a manifest;
+/// `resume` skips instances already present in the store.
+pub fn run_sensitivity_with(
+    config: &SensitivityConfig,
+    out: Option<&Path>,
+    resume: bool,
+) -> Result<SensitivityResults, String> {
+    let scenarios = config.scenarios_per_point;
+    let trials = config.trials_per_scenario;
+    let num_heuristics = config.heuristics.len();
+    let pairs_per_job = trials * num_heuristics;
+    let total_pairs = config.points.len() * scenarios * pairs_per_job;
+
+    let store = match out {
+        Some(dir) => Some(CampaignStore::open(dir, sensitivity_fingerprint(config), resume)?),
+        None if resume => return Err("resume requires an output directory".to_string()),
+        None => None,
+    };
+    let mut prefilled: Vec<Option<InstanceResult>> = vec![None; total_pairs * 2];
+    if resume {
+        let store = store.as_ref().expect("resume requires a store");
+        for record in store.load()? {
+            if let Some(slot) = sensitivity_slot(&record, config) {
+                prefilled[slot] = Some(record.result);
             }
         }
     }
-    SensitivityResults { markov, semi_markov: semi }
+    let prefilled_ref = &prefilled;
+
+    // One job per (point, scenario); a job's block holds its (markov, semi)
+    // result pairs in canonical (trial-major, heuristic-minor) order. Fully
+    // resumed jobs skip scenario generation and model matching entirely.
+    let worker = |job: usize| -> (Vec<(InstanceResult, InstanceResult)>, usize) {
+        let point_index = job / scenarios;
+        let scenario_index = job % scenarios;
+        let params = config.points[point_index];
+        let job_base = job * pairs_per_job * 2;
+        let job_missing =
+            (0..pairs_per_job * 2).any(|offset| prefilled_ref[job_base + offset].is_none());
+        let scenario = job_missing.then(|| {
+            let seed = scenario_seed(config.base_seed, point_index, scenario_index);
+            let scenario = Scenario::generate(params, seed);
+            let models = matched_semi_markov_models(&scenario, config.weibull_shape);
+            (scenario, models)
+        });
+        let mut block = Vec::with_capacity(pairs_per_job);
+        let mut executed_in_job = 0usize;
+        for trial_index in 0..trials {
+            let base = (job * trials + trial_index) * num_heuristics * 2;
+            // Realize each arm of the trial once, only if some heuristic
+            // still needs it, and share it across the trial's heuristics.
+            let markov_trial =
+                (0..num_heuristics).any(|i| prefilled_ref[base + 2 * i].is_none()).then(|| {
+                    let (scenario, _) = scenario.as_ref().expect("scenario generated");
+                    let seed = trial_seed(config.base_seed, scenario.seed, trial_index);
+                    RealizedTrial::new(scenario.availability_for_trial(seed, false))
+                });
+            let semi_trial =
+                (0..num_heuristics).any(|i| prefilled_ref[base + 2 * i + 1].is_none()).then(|| {
+                    let (scenario, models) = scenario.as_ref().expect("scenario generated");
+                    let seed = trial_seed(config.base_seed, scenario.seed, trial_index);
+                    RealizedTrial::new(SemiMarkovModel::generate_set(
+                        models,
+                        config.max_slots,
+                        seed,
+                    ))
+                });
+            for (i, heuristic) in config.heuristics.iter().enumerate() {
+                let spec = InstanceSpec { scenario_index, trial_index, heuristic: *heuristic };
+                let record = |outcome| InstanceResult {
+                    params,
+                    scenario_index,
+                    trial_index,
+                    heuristic: heuristic.name(),
+                    outcome,
+                };
+                let markov_result = match &prefilled_ref[base + 2 * i] {
+                    Some(stored) => stored.clone(),
+                    None => {
+                        let (scenario, _) = scenario.as_ref().expect("scenario generated");
+                        let trial = markov_trial.as_ref().expect("markov trial realized");
+                        let (outcome, _) = run_instance_on(
+                            scenario,
+                            &spec,
+                            trial.replay(),
+                            config.base_seed,
+                            config.max_slots,
+                            config.epsilon,
+                            config.engine,
+                        );
+                        executed_in_job += 1;
+                        record(outcome)
+                    }
+                };
+                let semi_result = match &prefilled_ref[base + 2 * i + 1] {
+                    Some(stored) => stored.clone(),
+                    None => {
+                        let (scenario, _) = scenario.as_ref().expect("scenario generated");
+                        let trial = semi_trial.as_ref().expect("semi trial realized");
+                        let (outcome, _) = run_instance_on(
+                            scenario,
+                            &spec,
+                            trial.replay(),
+                            config.base_seed,
+                            config.max_slots,
+                            config.epsilon,
+                            config.engine,
+                        );
+                        executed_in_job += 1;
+                        record(outcome)
+                    }
+                };
+                block.push((markov_result, semi_result));
+            }
+        }
+        (block, executed_in_job)
+    };
+
+    let mut markov = Vec::with_capacity(total_pairs);
+    let mut semi = Vec::with_capacity(total_pairs);
+    let mut shards = ShardWriter::new(store.as_ref(), scenarios);
+    let num_jobs = config.points.len() * scenarios;
+    fan_out(num_jobs, resolve_threads(config.threads), worker, |job, (block, executed)| {
+        let point_index = job / scenarios;
+        let keep_going = shards.consume(
+            job,
+            executed,
+            block.iter().flat_map(|(m, s)| {
+                [
+                    encode_instance(point_index, Some(MODEL_MARKOV), m),
+                    encode_instance(point_index, Some(MODEL_SEMI), s),
+                ]
+            }),
+        );
+        for (m, s) in block {
+            markov.push(m);
+            semi.push(s);
+        }
+        keep_going
+    });
+    shards.finish()?;
+    if let Some(store) = &store {
+        store.finalize()?;
+    }
+    Ok(SensitivityResults { markov, semi_markov: semi })
 }
 
 /// Render the sensitivity comparison: `%diff` vs the reference under both
@@ -214,6 +391,7 @@ mod tests {
             epsilon: 1e-6,
             weibull_shape: 0.8,
             engine: SimMode::default(),
+            threads: 1,
         };
         let results = run_sensitivity(&config);
         assert_eq!(results.markov.len(), 2);
@@ -222,5 +400,91 @@ mod tests {
         let text = render_sensitivity(&results, "IE", &names);
         assert!(text.contains("IAY"));
         assert!(text.contains("%diff Markov"));
+    }
+
+    fn multi_point_config() -> SensitivityConfig {
+        SensitivityConfig {
+            points: vec![ScenarioParams::paper(5, 10, 1), ScenarioParams::paper(5, 10, 2)],
+            scenarios_per_point: 2,
+            trials_per_scenario: 2,
+            max_slots: 30_000,
+            heuristics: vec![
+                HeuristicSpec::parse("IE").unwrap(),
+                HeuristicSpec::parse("RANDOM").unwrap(),
+            ],
+            base_seed: 11,
+            epsilon: 1e-6,
+            weibull_shape: 0.7,
+            engine: SimMode::default(),
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn stored_records_slot_back_into_the_canonical_layout() {
+        // Pins the encode → decode → slot roundtrip against the worker's flat
+        // (markov, semi) pair layout, so store-format and slot-math drift
+        // cannot silently drop resumed records.
+        let config = multi_point_config();
+        let result = InstanceResult {
+            params: config.points[1],
+            scenario_index: 1,
+            trial_index: 1,
+            heuristic: "RANDOM".to_string(),
+            outcome: dg_sim::SimOutcome {
+                completed_iterations: 10,
+                target_iterations: 10,
+                makespan: Some(99),
+                simulated_slots: 99,
+                stats: dg_sim::SimStats::default(),
+            },
+        };
+        for (model, model_index) in [(MODEL_MARKOV, 0), (MODEL_SEMI, 1)] {
+            let line = encode_instance(1, Some(model), &result);
+            let record = crate::store::decode_instance(&line).unwrap();
+            // point 1, scenario 1 -> job 3; trial 1; heuristic RANDOM -> 1.
+            let expected = ((3 * 2 + 1) * 2 + 1) * 2 + model_index;
+            assert_eq!(sensitivity_slot(&record, &config), Some(expected));
+        }
+        // Records that do not belong to the configuration slot to None.
+        let line = encode_instance(5, Some(MODEL_MARKOV), &result);
+        let record = crate::store::decode_instance(&line).unwrap();
+        assert_eq!(sensitivity_slot(&record, &config), None);
+        let untagged = crate::store::decode_instance(&encode_instance(1, None, &result)).unwrap();
+        assert_eq!(sensitivity_slot(&untagged, &config), None);
+    }
+
+    #[test]
+    fn parallel_sensitivity_matches_sequential() {
+        let mut config = multi_point_config();
+        let sequential = run_sensitivity(&config);
+        config.threads = 4;
+        let parallel = run_sensitivity(&config);
+        // Deterministic slot ordering: identical vectors, not just multisets.
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn sensitivity_store_resume_matches_uninterrupted_run() {
+        use crate::store::shard_name;
+        let dir =
+            std::env::temp_dir().join(format!("dg-sensitivity-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = multi_point_config();
+        let uninterrupted = run_sensitivity_with(&config, Some(&dir), false).unwrap();
+        let shard0 = std::fs::read(dir.join(shard_name(0))).unwrap();
+
+        // Lose the second point's shard entirely, then resume.
+        std::fs::remove_file(dir.join(shard_name(1))).unwrap();
+        let resumed = run_sensitivity_with(&config, Some(&dir), true).unwrap();
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(std::fs::read(dir.join(shard_name(0))).unwrap(), shard0);
+        assert!(dir.join(shard_name(1)).is_file());
+
+        // A different configuration cannot resume the store.
+        let mut other = config.clone();
+        other.weibull_shape = 0.9;
+        assert!(run_sensitivity_with(&other, Some(&dir), true).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

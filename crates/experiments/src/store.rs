@@ -1,0 +1,587 @@
+//! Resumable on-disk campaign artifact store.
+//!
+//! A campaign run with `--out <dir>` persists its results as they are
+//! produced:
+//!
+//! ```text
+//! <dir>/manifest.json       # version, completion flag, config fingerprint
+//! <dir>/point-0000.jsonl    # one line per instance of experiment point 0
+//! <dir>/point-0001.jsonl    # … written atomically when the point completes
+//! ```
+//!
+//! Each shard holds the instances of one experiment point in **canonical
+//! order** (scenario-major, then trial, then heuristic — the same order the
+//! executor emits), so shard bytes are independent of thread count and
+//! completion order. Shards are written to a temporary file and renamed into
+//! place, making every shard either absent, complete, or (after a crash mid
+//! `write(2)`) truncated — never interleaved.
+//!
+//! `--resume` reads the shards back, skips every instance already present and
+//! re-runs only the missing ones. A truncated trailing line (the signature of
+//! a killed campaign) is detected by the line decoder and simply dropped:
+//! those instances re-run. Because [`InstanceResult`] is all integers and
+//! heuristic names, the JSON encoding round-trips **exactly**, so a resumed
+//! campaign finishes with byte-identical results to an uninterrupted one.
+//!
+//! The vendored `serde` is a no-op shim (nothing derives real serialization),
+//! so the line format is hand-rolled here: a flat JSON object with a fixed
+//! key order, integers, `null` for failed makespans and plain (escape-free)
+//! heuristic names.
+
+use crate::campaign::InstanceResult;
+use dg_platform::ScenarioParams;
+use dg_sim::{SimOutcome, SimStats};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_NAME: &str = "manifest.json";
+
+/// Store format version (bumped on any incompatible layout change).
+pub const STORE_VERSION: u32 = 1;
+
+/// Shard file name of experiment point `point_index`.
+pub fn shard_name(point_index: usize) -> String {
+    format!("point-{point_index:04}.jsonl")
+}
+
+/// A record of one finished instance, optionally tagged with an availability
+/// model name (the sensitivity experiment stores `markov` and `semi` runs in
+/// the same shard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredInstance {
+    /// Index of the experiment point within the campaign's point list.
+    pub point_index: usize,
+    /// Availability-model tag (`None` for plain campaigns).
+    pub model: Option<String>,
+    /// The instance itself.
+    pub result: InstanceResult,
+}
+
+/// Encode one instance as a single JSONL line (no trailing newline).
+///
+/// The key order is fixed, every quantity is an integer or a plain string,
+/// and failed makespans encode as `null` — so encoding is deterministic and
+/// decoding reproduces the instance exactly.
+pub fn encode_instance(point_index: usize, model: Option<&str>, r: &InstanceResult) -> String {
+    let mut s = String::with_capacity(256);
+    s.push('{');
+    let _ = write!(s, "\"point\":{point_index}");
+    if let Some(model) = model {
+        let _ = write!(s, ",\"model\":\"{model}\"");
+    }
+    let p = &r.params;
+    let _ = write!(
+        s,
+        ",\"workers\":{},\"m\":{},\"ncom\":{},\"wmin\":{},\"iterations\":{}",
+        p.num_workers, p.tasks_per_iteration, p.ncom, p.wmin, p.iterations
+    );
+    let _ = write!(s, ",\"scenario\":{},\"trial\":{}", r.scenario_index, r.trial_index);
+    let _ = write!(s, ",\"heuristic\":\"{}\"", r.heuristic);
+    let o = &r.outcome;
+    let _ =
+        write!(s, ",\"completed\":{},\"target\":{}", o.completed_iterations, o.target_iterations);
+    match o.makespan {
+        Some(ms) => {
+            let _ = write!(s, ",\"makespan\":{ms}");
+        }
+        None => s.push_str(",\"makespan\":null"),
+    }
+    let _ = write!(s, ",\"simulated\":{}", o.simulated_slots);
+    let st = &o.stats;
+    let _ = write!(
+        s,
+        ",\"configs\":{},\"proactive\":{},\"aborted\":{},\"transfer\":{},\"compute\":{},\"stalled\":{},\"idle\":{}",
+        st.configurations_selected,
+        st.proactive_changes,
+        st.iterations_aborted,
+        st.transfer_slots,
+        st.computation_slots,
+        st.stalled_slots,
+        st.idle_slots
+    );
+    s.push('}');
+    s
+}
+
+/// Decode a line produced by [`encode_instance`]. Any malformed input —
+/// including the truncated trailing line of a killed campaign — is an `Err`.
+pub fn decode_instance(line: &str) -> Result<StoredInstance, String> {
+    let mut fields = FieldParser::new(line)?;
+    let point_index = fields.take_usize("point")?;
+    let model = fields.take_optional_string("model")?;
+    let params = ScenarioParams {
+        num_workers: fields.take_usize("workers")?,
+        tasks_per_iteration: fields.take_usize("m")?,
+        ncom: fields.take_usize("ncom")?,
+        wmin: fields.take_u64("wmin")?,
+        iterations: fields.take_u64("iterations")?,
+    };
+    let scenario_index = fields.take_usize("scenario")?;
+    let trial_index = fields.take_usize("trial")?;
+    let heuristic = fields.take_string("heuristic")?;
+    let outcome = SimOutcome {
+        completed_iterations: fields.take_u64("completed")?,
+        target_iterations: fields.take_u64("target")?,
+        makespan: fields.take_nullable_u64("makespan")?,
+        simulated_slots: fields.take_u64("simulated")?,
+        stats: SimStats {
+            configurations_selected: fields.take_u64("configs")?,
+            proactive_changes: fields.take_u64("proactive")?,
+            iterations_aborted: fields.take_u64("aborted")?,
+            transfer_slots: fields.take_u64("transfer")?,
+            computation_slots: fields.take_u64("compute")?,
+            stalled_slots: fields.take_u64("stalled")?,
+            idle_slots: fields.take_u64("idle")?,
+        },
+    };
+    fields.finish()?;
+    Ok(StoredInstance {
+        point_index,
+        model,
+        result: InstanceResult { params, scenario_index, trial_index, heuristic, outcome },
+    })
+}
+
+/// Strict in-order parser over the `"key":value` pairs of one record line.
+struct FieldParser<'a> {
+    rest: &'a str,
+    first: bool,
+}
+
+impl<'a> FieldParser<'a> {
+    fn new(line: &'a str) -> Result<Self, String> {
+        let line = line.trim_end_matches(['\r', ' ']);
+        let rest = line
+            .strip_prefix('{')
+            .and_then(|l| l.strip_suffix('}'))
+            .ok_or_else(|| "record is not a JSON object".to_string())?;
+        Ok(FieldParser { rest, first: true })
+    }
+
+    /// Consume `"key":` and return the raw value text.
+    fn take_raw(&mut self, key: &str) -> Result<&'a str, String> {
+        let mut prefix = String::with_capacity(key.len() + 4);
+        if !self.first {
+            prefix.push(',');
+        }
+        self.first = false;
+        let _ = write!(prefix, "\"{key}\":");
+        self.rest = self
+            .rest
+            .strip_prefix(prefix.as_str())
+            .ok_or_else(|| format!("expected field '{key}'"))?;
+        // The value runs to the next comma outside a string, or to the end.
+        let mut end = self.rest.len();
+        let mut in_string = false;
+        for (i, c) in self.rest.char_indices() {
+            match c {
+                '"' => in_string = !in_string,
+                ',' if !in_string => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let value = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        if value.is_empty() {
+            return Err(format!("empty value for field '{key}'"));
+        }
+        Ok(value)
+    }
+
+    fn take_u64(&mut self, key: &str) -> Result<u64, String> {
+        let raw = self.take_raw(key)?;
+        raw.parse().map_err(|_| format!("field '{key}': invalid integer '{raw}'"))
+    }
+
+    fn take_usize(&mut self, key: &str) -> Result<usize, String> {
+        let raw = self.take_raw(key)?;
+        raw.parse().map_err(|_| format!("field '{key}': invalid integer '{raw}'"))
+    }
+
+    fn take_nullable_u64(&mut self, key: &str) -> Result<Option<u64>, String> {
+        let raw = self.take_raw(key)?;
+        if raw == "null" {
+            return Ok(None);
+        }
+        raw.parse().map(Some).map_err(|_| format!("field '{key}': invalid integer '{raw}'"))
+    }
+
+    fn take_string(&mut self, key: &str) -> Result<String, String> {
+        let raw = self.take_raw(key)?;
+        let inner = raw
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .ok_or_else(|| format!("field '{key}': expected a string, got '{raw}'"))?;
+        if inner.contains(['"', '\\']) {
+            return Err(format!("field '{key}': escapes are not supported"));
+        }
+        Ok(inner.to_string())
+    }
+
+    /// Peek-based optional string field: consumed only if present next.
+    fn take_optional_string(&mut self, key: &str) -> Result<Option<String>, String> {
+        let probe = format!(",\"{key}\":");
+        if self.rest.starts_with(probe.as_str()) {
+            return self.take_string(key).map(Some);
+        }
+        Ok(None)
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("trailing content in record: '{}'", self.rest))
+        }
+    }
+}
+
+/// A campaign store rooted at a directory, identified by a configuration
+/// fingerprint (a canonical JSON encoding of everything that determines the
+/// campaign's results — thread count excluded, since results are
+/// thread-count-independent).
+#[derive(Debug)]
+pub struct CampaignStore {
+    dir: PathBuf,
+    fingerprint: String,
+}
+
+impl CampaignStore {
+    /// Open a store directory for writing.
+    ///
+    /// * `resume = false` — start fresh: create the directory, write an
+    ///   incomplete manifest and delete any stale `point-*.jsonl` shards
+    ///   (including `.tmp` leftovers of a crash mid-write).
+    /// * `resume = true` — the directory must contain a manifest whose
+    ///   fingerprint matches `fingerprint`; existing shards are kept and can
+    ///   be read back with [`CampaignStore::load`].
+    pub fn open(dir: &Path, fingerprint: String, resume: bool) -> Result<CampaignStore, String> {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let store = CampaignStore { dir: dir.to_path_buf(), fingerprint };
+        let manifest_path = store.dir.join(MANIFEST_NAME);
+        if resume {
+            let text = fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("--resume: cannot read {}: {e}", manifest_path.display()))?;
+            let (_, found) = parse_manifest(&text)?;
+            if found != store.fingerprint {
+                return Err(format!(
+                    "--resume: {} was produced by a different configuration; \
+                     re-run with the same flags or drop --resume",
+                    store.dir.display()
+                ));
+            }
+        } else {
+            for stale in store.files_matching(|name| {
+                name.starts_with("point-")
+                    && (name.ends_with(".jsonl") || name.ends_with(".jsonl.tmp"))
+            })? {
+                fs::remove_file(&stale)
+                    .map_err(|e| format!("cannot remove stale shard {}: {e}", stale.display()))?;
+            }
+            store.write_manifest(false)?;
+        }
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Load every decodable instance from the existing shards. Undecodable
+    /// lines (e.g. the truncated tail of a killed run) and everything after
+    /// them in their shard are skipped — those instances simply re-run.
+    pub fn load(&self) -> Result<Vec<StoredInstance>, String> {
+        let mut out = Vec::new();
+        for path in self.shard_paths()? {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read shard {}: {e}", path.display()))?;
+            for line in text.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                match decode_instance(line) {
+                    Ok(record) => out.push(record),
+                    // A malformed line marks the write frontier of a killed
+                    // campaign; nothing after it in this shard is trusted.
+                    Err(_) => break,
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Atomically write the complete shard of one experiment point.
+    pub fn write_shard(&self, point_index: usize, lines: &[String]) -> Result<(), String> {
+        let path = self.dir.join(shard_name(point_index));
+        let tmp = self.dir.join(format!("{}.tmp", shard_name(point_index)));
+        let mut file =
+            fs::File::create(&tmp).map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        for line in lines {
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        }
+        file.sync_all().map_err(|e| format!("cannot sync {}: {e}", tmp.display()))?;
+        drop(file);
+        fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
+    }
+
+    /// Mark the campaign complete in the manifest.
+    pub fn finalize(&self) -> Result<(), String> {
+        self.write_manifest(true)
+    }
+
+    /// Read whether the manifest currently marks the campaign complete.
+    pub fn is_complete(&self) -> Result<bool, String> {
+        let path = self.dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse_manifest(&text).map(|(complete, _)| complete)
+    }
+
+    fn write_manifest(&self, complete: bool) -> Result<(), String> {
+        let path = self.dir.join(MANIFEST_NAME);
+        let text = render_manifest(complete, &self.fingerprint);
+        fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    fn shard_paths(&self) -> Result<Vec<PathBuf>, String> {
+        self.files_matching(|name| name.starts_with("point-") && name.ends_with(".jsonl"))
+    }
+
+    fn files_matching(&self, keep: impl Fn(&str) -> bool) -> Result<Vec<PathBuf>, String> {
+        let mut paths = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| format!("cannot list {}: {e}", self.dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", self.dir.display()))?;
+            let name = entry.file_name();
+            if keep(&name.to_string_lossy()) {
+                paths.push(entry.path());
+            }
+        }
+        paths.sort();
+        Ok(paths)
+    }
+}
+
+/// Streams completed jobs' record lines into per-point shards.
+///
+/// Both executors (campaign and sensitivity) feed one `(point, scenario)` job
+/// at a time, in canonical order; the writer buffers the current point's
+/// lines and writes its shard once the last scenario lands. Points whose
+/// every instance was resumed from disk (`executed == 0` across the point)
+/// skip the write — their shard is already intact — so resuming a nearly
+/// complete campaign does not rewrite untouched shards. After the first
+/// error the writer stops consuming; the error is returned by
+/// [`ShardWriter::finish`] and `consume` returns `false` so the caller can
+/// abort the fan-out instead of simulating results that can no longer be
+/// stored.
+#[derive(Debug)]
+pub struct ShardWriter<'a> {
+    store: Option<&'a CampaignStore>,
+    scenarios_per_point: usize,
+    lines: Vec<String>,
+    executed_in_point: usize,
+    error: Option<String>,
+}
+
+impl<'a> ShardWriter<'a> {
+    /// Create a writer; with `store == None` every call is a cheap no-op.
+    pub fn new(store: Option<&'a CampaignStore>, scenarios_per_point: usize) -> ShardWriter<'a> {
+        assert!(scenarios_per_point > 0, "points must have at least one scenario");
+        ShardWriter {
+            store,
+            scenarios_per_point,
+            lines: Vec::new(),
+            executed_in_point: 0,
+            error: None,
+        }
+    }
+
+    /// Buffer one completed job's lines (`executed` = instances actually
+    /// simulated rather than resumed) and flush the point's shard when `job`
+    /// is the point's last scenario. Returns `false` once an error occurred.
+    pub fn consume(
+        &mut self,
+        job: usize,
+        executed: usize,
+        lines: impl IntoIterator<Item = String>,
+    ) -> bool {
+        let Some(store) = self.store else { return true };
+        if self.error.is_some() {
+            return false;
+        }
+        self.lines.extend(lines);
+        self.executed_in_point += executed;
+        if (job + 1).is_multiple_of(self.scenarios_per_point) {
+            if self.executed_in_point > 0 {
+                let point_index = job / self.scenarios_per_point;
+                if let Err(e) = store.write_shard(point_index, &self.lines) {
+                    self.error = Some(e);
+                }
+            }
+            self.lines.clear();
+            self.executed_in_point = 0;
+        }
+        self.error.is_none()
+    }
+
+    /// The first write error, if any.
+    pub fn finish(self) -> Result<(), String> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Render the manifest: a single deterministic JSON line.
+fn render_manifest(complete: bool, fingerprint: &str) -> String {
+    format!("{{\"version\":{STORE_VERSION},\"complete\":{complete},\"config\":{fingerprint}}}\n")
+}
+
+/// Parse a manifest back into `(complete, fingerprint)`.
+fn parse_manifest(text: &str) -> Result<(bool, String), String> {
+    let text = text.trim_end();
+    let rest = text
+        .strip_prefix(&format!("{{\"version\":{STORE_VERSION},\"complete\":"))
+        .ok_or_else(|| "unrecognized manifest (version mismatch or corrupt)".to_string())?;
+    let (complete, rest) = if let Some(r) = rest.strip_prefix("true") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("false") {
+        (false, r)
+    } else {
+        return Err("unrecognized manifest completion flag".to_string());
+    };
+    let fingerprint = rest
+        .strip_prefix(",\"config\":")
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(|| "unrecognized manifest config section".to_string())?;
+    Ok((complete, fingerprint.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sim::{SimOutcome, SimStats};
+
+    fn sample(makespan: Option<u64>) -> InstanceResult {
+        InstanceResult {
+            params: ScenarioParams {
+                num_workers: 20,
+                tasks_per_iteration: 5,
+                ncom: 10,
+                wmin: 3,
+                iterations: 10,
+            },
+            scenario_index: 2,
+            trial_index: 1,
+            heuristic: "Y-IE".to_string(),
+            outcome: SimOutcome {
+                completed_iterations: 10,
+                target_iterations: 10,
+                makespan,
+                simulated_slots: makespan.unwrap_or(1_000_000),
+                stats: SimStats {
+                    configurations_selected: 4,
+                    proactive_changes: 1,
+                    iterations_aborted: 2,
+                    transfer_slots: 37,
+                    computation_slots: 240,
+                    stalled_slots: 12,
+                    idle_slots: 5,
+                },
+            },
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dg-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_exactly() {
+        for (model, makespan) in [(None, Some(431)), (Some("semi"), None)] {
+            let r = sample(makespan);
+            let line = encode_instance(7, model, &r);
+            let decoded = decode_instance(&line).unwrap();
+            assert_eq!(decoded.point_index, 7);
+            assert_eq!(decoded.model.as_deref(), model);
+            assert_eq!(decoded.result, r);
+            // Re-encoding is byte-identical: the serialization is canonical.
+            assert_eq!(encode_instance(7, model, &decoded.result), line);
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_lines_are_rejected() {
+        let line = encode_instance(0, None, &sample(Some(10)));
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(decode_instance(&line[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        assert!(decode_instance("").is_err());
+        assert!(decode_instance("{}").is_err());
+        assert!(decode_instance(&format!("{line}garbage")).is_err());
+    }
+
+    #[test]
+    fn store_roundtrip_and_truncation_recovery() {
+        let dir = temp_dir("roundtrip");
+        let store = CampaignStore::open(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        let a = encode_instance(0, None, &sample(Some(100)));
+        let b = encode_instance(0, None, &sample(None));
+        store.write_shard(0, &[a.clone(), b.clone()]).unwrap();
+        assert!(!store.is_complete().unwrap());
+        store.finalize().unwrap();
+        assert!(store.is_complete().unwrap());
+
+        // Resume sees both instances.
+        let resumed = CampaignStore::open(&dir, "{\"k\":1}".to_string(), true).unwrap();
+        assert_eq!(resumed.load().unwrap().len(), 2);
+
+        // Truncate the shard mid-line: only the intact prefix survives.
+        let shard = dir.join(shard_name(0));
+        let text = fs::read_to_string(&shard).unwrap();
+        fs::write(&shard, &text[..a.len() + 1 + b.len() / 2]).unwrap();
+        let loaded = resumed.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].result, sample(Some(100)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_fingerprint_and_missing_manifest() {
+        let dir = temp_dir("mismatch");
+        assert!(CampaignStore::open(&dir, "{\"k\":1}".to_string(), true).is_err());
+        let _ = CampaignStore::open(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        let err = CampaignStore::open(&dir, "{\"k\":2}".to_string(), true).unwrap_err();
+        assert!(err.contains("different configuration"), "{err}");
+        assert!(CampaignStore::open(&dir, "{\"k\":1}".to_string(), true).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_open_clears_stale_shards_and_tmp_leftovers() {
+        let dir = temp_dir("stale");
+        let store = CampaignStore::open(&dir, "{}".to_string(), false).unwrap();
+        store.write_shard(3, &[encode_instance(3, None, &sample(Some(5)))]).unwrap();
+        // A crash inside write_shard can leave a .tmp behind the rename.
+        let orphan = dir.join(format!("{}.tmp", shard_name(7)));
+        fs::write(&orphan, "partial").unwrap();
+        let store = CampaignStore::open(&dir, "{}".to_string(), false).unwrap();
+        assert!(store.load().unwrap().is_empty());
+        assert!(!orphan.exists(), "stale .tmp shard survived a fresh open");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
