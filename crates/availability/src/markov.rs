@@ -129,11 +129,40 @@ impl MarkovChain3 {
     /// probability is drawn uniformly in `[0.90, 0.99]` and the remaining mass
     /// is split evenly between the two other states.
     pub fn sample_paper_model<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        let p_uu = rng.gen_range(0.90..=0.99);
-        let p_rr = rng.gen_range(0.90..=0.99);
-        let p_dd = rng.gen_range(0.90..=0.99);
+        MarkovChain3::sample_self_loops_in(0.90, 0.99, rng)
+    }
+
+    /// Sample a chain whose three self-loop probabilities are drawn uniformly
+    /// in `[lo, hi]`, the remaining mass split evenly between the two other
+    /// states (the paper's rule with a configurable range). The paper's own
+    /// parameterization is the `[0.90, 0.99]` special case; the suite
+    /// generator's *volatile* and *stable* regimes use other ranges.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= lo <= hi < 1`.
+    pub fn sample_self_loops_in<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> Self {
+        assert!(
+            (0.0..1.0).contains(&lo) && (0.0..1.0).contains(&hi) && lo <= hi,
+            "self-loop range must satisfy 0 <= lo <= hi < 1, got [{lo}, {hi}]"
+        );
+        let p_uu = rng.gen_range(lo..=hi);
+        let p_rr = rng.gen_range(lo..=hi);
+        let p_dd = rng.gen_range(lo..=hi);
         MarkovChain3::from_self_loop_probs(p_uu, p_rr, p_dd)
-            .expect("paper-model parameters are always valid")
+            .expect("self-loop parameters in [0, 1) are always valid")
+    }
+
+    /// Sample a *volatile* chain: self-loops uniform in `[0.60, 0.85]`, so
+    /// state sojourns are several times shorter than under the paper's
+    /// `[0.90, 0.99]` regime and interruptions dominate the schedule.
+    pub fn sample_volatile<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        MarkovChain3::sample_self_loops_in(0.60, 0.85, rng)
+    }
+
+    /// Sample a *stable* chain: self-loops uniform in `[0.995, 0.999]` —
+    /// near-dedicated machines whose mean sojourns span hundreds of slots.
+    pub fn sample_stable<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        MarkovChain3::sample_self_loops_in(0.995, 0.999, rng)
     }
 
     /// A chain for a processor that is always `UP` (never reclaimed, never down).
@@ -466,6 +495,41 @@ mod tests {
             assert_ne!(s, ProcState::Reclaimed);
         }
         assert!(c.can_fail());
+    }
+
+    #[test]
+    fn sample_self_loops_in_respects_the_range() {
+        let mut rng = rng_from_seed(8);
+        for (lo, hi) in [(0.60, 0.85), (0.995, 0.999), (0.90, 0.99), (0.5, 0.5)] {
+            for _ in 0..50 {
+                let c = MarkovChain3::sample_self_loops_in(lo, hi, &mut rng);
+                assert!(c.transition_matrix().is_row_stochastic());
+                for s in ProcState::ALL {
+                    let p = c.prob(s, s);
+                    assert!((lo..=hi).contains(&p), "self-loop {p} outside [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sample_self_loops_in_rejects_inverted_range() {
+        let mut rng = rng_from_seed(8);
+        let _ = MarkovChain3::sample_self_loops_in(0.9, 0.8, &mut rng);
+    }
+
+    #[test]
+    fn volatile_and_stable_regimes_order_mean_sojourns() {
+        // Mean UP sojourn is 1/(1 - p_uu): volatile < paper < stable.
+        let mut rng = rng_from_seed(9);
+        let volatile = MarkovChain3::sample_volatile(&mut rng);
+        let paper = MarkovChain3::sample_paper_model(&mut rng);
+        let stable = MarkovChain3::sample_stable(&mut rng);
+        let mean_up = |c: &MarkovChain3| 1.0 / (1.0 - c.prob(ProcState::Up, ProcState::Up));
+        assert!(mean_up(&volatile) < mean_up(&paper));
+        assert!(mean_up(&paper) < mean_up(&stable));
+        assert!(mean_up(&stable) >= 200.0);
     }
 
     #[test]

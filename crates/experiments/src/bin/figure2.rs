@@ -1,10 +1,11 @@
 //! Regenerates the paper's **Figure 2**: `%diff` (vs the reference IE) as a
-//! function of `wmin` for `m = 10` tasks, for the eight heuristics reported in
-//! Table II (E-IAY, E-IP, E-IY, IAY, IE, IY, P-IE, Y-IE).
+//! function of `wmin` for the suite's largest `m` (the paper's `m = 10`
+//! tasks), for the eight heuristics reported in Table II (E-IAY, E-IP, E-IY,
+//! IAY, IE, IY, P-IE, Y-IE).
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin figure2 -- [--scenarios N] [--trials N] [--full] \
-//!     [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
@@ -27,9 +28,18 @@ fn main() {
         .iter()
         .map(|n| HeuristicSpec::parse(n).expect("figure heuristic name"))
         .collect();
-    let config = opts.campaign().with_m(10).with_heuristics(heuristics);
+    let config = match opts.campaign() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let m = *config.m_values.iter().max().expect("suites have at least one m value");
+    let config = config.with_m(m).with_heuristics(heuristics);
     eprintln!(
-        "Figure 2 campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        "Figure 2 campaign ({} suite): {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        config.suite,
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
@@ -57,7 +67,7 @@ fn main() {
     }
     let results = outcome.results;
     let names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
-    let figure = Figure::compute(&results, 10, "IE", &names);
+    let figure = Figure::compute(&results, m, "IE", &names);
     println!("{}", figure.render());
     println!("CSV:\n{}", figure.to_csv());
 }

@@ -22,9 +22,21 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let config = opts.campaign();
+    let mut config = match opts.campaign() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    // Only the suite's smallest and largest m are reported; don't simulate
+    // the points in between. (The paper suite's {5, 10} is unaffected.)
+    let m_small = *config.m_values.iter().min().expect("suites have at least one m value");
+    let m_large = *config.m_values.iter().max().expect("suites have at least one m value");
+    config.m_values = if m_small == m_large { vec![m_small] } else { vec![m_small, m_large] };
     eprintln!(
-        "Full campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        "Full campaign ({} suite): {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        config.suite,
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
@@ -58,22 +70,22 @@ fn main() {
 
     let names = results.heuristic_names();
 
-    let m5: Vec<_> = results.for_m(5);
-    let table1 = table_comparison(&m5, "IE", &names);
-    println!("{}", render_table("TABLE I. RESULTS WITH m = 5 TASKS.", &table1));
+    let small: Vec<_> = results.for_m(m_small);
+    let table1 = table_comparison(&small, "IE", &names);
+    println!("{}", render_table(&format!("TABLE I. RESULTS WITH m = {m_small} TASKS."), &table1));
 
-    let m10: Vec<_> = results.for_m(10);
-    let table2 = table_comparison(&m10, "IE", &names);
+    let large: Vec<_> = results.for_m(m_large);
+    let table2 = table_comparison(&large, "IE", &names);
     println!(
         "{}",
         render_table(
-            "TABLE II. RESULTS WITH m = 10 TASKS (heuristics with %diff <= 50%).",
+            &format!("TABLE II. RESULTS WITH m = {m_large} TASKS (heuristics with %diff <= 50%)."),
             &filter_by_diff(&table2, 50.0)
         )
     );
-    println!("{}", render_table("All heuristics, m = 10:", &table2));
+    println!("{}", render_table(&format!("All heuristics, m = {m_large}:"), &table2));
 
     let figure_names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
-    let figure = Figure::compute(&results, 10, "IE", &figure_names);
+    let figure = Figure::compute(&results, m_large, "IE", &figure_names);
     println!("{}", figure.render());
 }

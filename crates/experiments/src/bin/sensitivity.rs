@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin sensitivity -- [--scenarios N] [--trials N] \
-//!     [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::CliOptions;
@@ -21,10 +21,39 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let suite = match opts.suite() {
+        Ok(suite) => suite,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let heuristic_names =
         ["IE", "IAY", "IY", "IP", "Y-IE", "P-IE", "E-IAY", "RANDOM"].map(str::to_string);
+    // One point per wmin at the suite's first m and middle ncom (the paper
+    // suite gives the historical m = 5, ncom = 10 slice); --ncom and --wmin
+    // override the suite's sweeps as everywhere else.
+    let m = suite.m_values[0];
+    let ncom_values = opts.ncom_values.clone().unwrap_or_else(|| suite.ncom_values.clone());
+    let ncom = ncom_values[ncom_values.len() / 2];
+    let wmin_values = opts.wmin_values.clone().unwrap_or_else(|| suite.wmin_values.clone());
+    // A suite declaring `trials semi(SHAPE)` fixes the semi-Markov arm's
+    // Weibull shape; otherwise the historical 0.7 applies.
+    let weibull_shape = match suite.model.trials {
+        dg_platform::TrialModel::SemiMarkov { shape } => shape,
+        dg_platform::TrialModel::Markov => 0.7,
+    };
     let config = SensitivityConfig {
-        points: opts.wmin_values.iter().map(|&wmin| ScenarioParams::paper(5, 10, wmin)).collect(),
+        points: wmin_values
+            .iter()
+            .map(|&wmin| ScenarioParams {
+                num_workers: suite.workers,
+                tasks_per_iteration: m,
+                ncom,
+                wmin,
+                iterations: suite.iterations,
+            })
+            .collect(),
         scenarios_per_point: opts.scenarios,
         trials_per_scenario: opts.trials,
         max_slots: opts.max_slots,
@@ -34,12 +63,15 @@ fn main() {
             .collect(),
         base_seed: opts.seed,
         epsilon: dg_analysis::DEFAULT_EPSILON,
-        weibull_shape: 0.7,
+        weibull_shape,
         engine: opts.engine,
         threads: opts.threads,
+        suite: suite.name.clone(),
+        model: suite.model,
     };
     eprintln!(
-        "Sensitivity campaign: {} points x {} scenarios x {} trials x {} heuristics (x2 models, {} engine, {} threads)",
+        "Sensitivity campaign ({} suite): {} points x {} scenarios x {} trials x {} heuristics (x2 models, {} engine, {} threads)",
+        config.suite,
         config.points.len(),
         config.scenarios_per_point,
         config.trials_per_scenario,

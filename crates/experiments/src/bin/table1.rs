@@ -1,9 +1,10 @@
 //! Regenerates the paper's **Table I**: comparison of all 17 heuristics
-//! against the reference IE for `m = 5` tasks per iteration.
+//! against the reference IE for the suite's smallest `m` (the paper's
+//! `m = 5` tasks per iteration).
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin table1 -- [--scenarios N] [--trials N] [--full] \
-//!     [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
@@ -18,9 +19,18 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let config = opts.campaign().with_m(5);
+    let config = match opts.campaign() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let m = *config.m_values.iter().min().expect("suites have at least one m value");
+    let config = config.with_m(m);
     eprintln!(
-        "Table I campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        "Table I campaign ({} suite): {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        config.suite,
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
@@ -49,5 +59,5 @@ fn main() {
     let results = outcome.results;
     let subset: Vec<_> = results.results.iter().collect();
     let comparison = table_comparison(&subset, "IE", &results.heuristic_names());
-    println!("{}", render_table("TABLE I. RESULTS WITH m = 5 TASKS.", &comparison));
+    println!("{}", render_table(&format!("TABLE I. RESULTS WITH m = {m} TASKS."), &comparison));
 }

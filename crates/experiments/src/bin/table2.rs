@@ -1,10 +1,11 @@
-//! Regenerates the paper's **Table II**: comparison for `m = 10` tasks per
-//! iteration, reporting (like the paper) only the heuristics whose `%diff`
-//! stays below +50 % — plus the full table for completeness.
+//! Regenerates the paper's **Table II**: comparison for the suite's largest
+//! `m` (the paper's `m = 10` tasks per iteration), reporting (like the
+//! paper) only the heuristics whose `%diff` stays below +50 % — plus the
+//! full table for completeness.
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin table2 -- [--scenarios N] [--trials N] [--full] \
-//!     [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
@@ -19,9 +20,18 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let config = opts.campaign().with_m(10);
+    let config = match opts.campaign() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let m = *config.m_values.iter().max().expect("suites have at least one m value");
+    let config = config.with_m(m);
     eprintln!(
-        "Table II campaign: {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        "Table II campaign ({} suite): {} points x {} scenarios x {} trials x {} heuristics = {} runs (cap {}, {} engine, {} threads)",
+        config.suite,
         config.points().len(),
         config.scenarios_per_point,
         config.trials_per_scenario,
@@ -53,9 +63,9 @@ fn main() {
     println!(
         "{}",
         render_table(
-            "TABLE II. RESULTS WITH m = 10 TASKS (heuristics with %diff <= 50%).",
+            &format!("TABLE II. RESULTS WITH m = {m} TASKS (heuristics with %diff <= 50%)."),
             &filter_by_diff(&comparison, 50.0)
         )
     );
-    println!("{}", render_table("All heuristics, m = 10:", &comparison));
+    println!("{}", render_table(&format!("All heuristics, m = {m}:"), &comparison));
 }

@@ -11,7 +11,7 @@
 
 use crate::executor::{run_campaign_with, ExecutorOptions};
 use dg_heuristics::HeuristicSpec;
-use dg_platform::ScenarioParams;
+use dg_platform::{ScenarioModel, ScenarioParams};
 use dg_sim::{SimMode, SimOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +53,13 @@ pub struct CampaignConfig {
     /// engine (default) and the slot-stepper produce identical results; see
     /// [`SimMode`].
     pub engine: SimMode,
+    /// Name of the scenario suite the campaign runs over (`"paper"` by
+    /// default). Non-paper suites tag the artifact store's manifest and
+    /// shard records so `--resume` cannot mix workloads.
+    pub suite: String,
+    /// Generator model the campaign's scenarios are sampled under
+    /// ([`ScenarioModel::paper`] by default — the Section VII-A space).
+    pub model: ScenarioModel,
 }
 
 impl CampaignConfig {
@@ -72,6 +79,8 @@ impl CampaignConfig {
             epsilon: dg_analysis::DEFAULT_EPSILON,
             threads: 1,
             engine: SimMode::default(),
+            suite: "paper".to_string(),
+            model: ScenarioModel::paper(),
         }
     }
 
@@ -105,6 +114,8 @@ impl CampaignConfig {
             epsilon: dg_analysis::DEFAULT_EPSILON,
             threads: 1,
             engine: SimMode::default(),
+            suite: "paper".to_string(),
+            model: ScenarioModel::paper(),
         }
     }
 
@@ -119,6 +130,13 @@ impl CampaignConfig {
     pub fn with_heuristics(mut self, heuristics: Vec<HeuristicSpec>) -> Self {
         self.heuristics = heuristics;
         self
+    }
+
+    /// The suite tag stored in manifests and shard records: `None` for the
+    /// untagged `paper` suite (keeping its artifacts byte-identical to the
+    /// pre-suite store format), `Some(name)` otherwise.
+    pub fn suite_tag(&self) -> Option<&str> {
+        crate::suite::store_tag(&self.suite)
     }
 
     /// The experiment points `(m, ncom, wmin)` of the campaign.

@@ -6,8 +6,11 @@
 //! --scenarios N    scenarios per (m, ncom, wmin) point       [default 3]
 //! --trials N       availability realizations per scenario    [default 3]
 //! --cap N          slot cap per run                          [default 200000]
-//! --ncom LIST      comma-separated ncom values               [default 5,10,20]
-//! --wmin LIST      comma-separated wmin values               [default 1..10]
+//! --suite S        scenario suite: a preset name (paper,
+//!                  volatile, largegrid, commbound) or a
+//!                  suite file path                           [default paper]
+//! --ncom LIST      comma-separated ncom values               [default: suite's]
+//! --wmin LIST      comma-separated wmin values               [default: suite's]
 //! --threads N      worker threads, 0 = auto-detect           [default 1]
 //! --seed N         master seed                               [default 20130520]
 //! --engine MODE    simulation engine: event | slot           [default event]
@@ -20,6 +23,7 @@
 
 use crate::campaign::CampaignConfig;
 use crate::executor::ExecutorOptions;
+use crate::suite::SuiteSpec;
 use dg_sim::SimMode;
 use std::path::PathBuf;
 
@@ -32,10 +36,12 @@ pub struct CliOptions {
     pub trials: usize,
     /// Slot cap per run.
     pub max_slots: u64,
-    /// `ncom` values to sweep.
-    pub ncom_values: Vec<usize>,
-    /// `wmin` values to sweep.
-    pub wmin_values: Vec<u64>,
+    /// Scenario suite (`--suite NAME|FILE`); `None` = the `paper` preset.
+    pub suite: Option<String>,
+    /// `ncom` values to sweep; `None` = the suite's values.
+    pub ncom_values: Option<Vec<usize>>,
+    /// `wmin` values to sweep; `None` = the suite's values.
+    pub wmin_values: Option<Vec<u64>>,
     /// Worker threads (`--threads 0` = auto-detect available parallelism).
     pub threads: usize,
     /// Master seed.
@@ -56,8 +62,9 @@ impl Default for CliOptions {
             scenarios: 3,
             trials: 3,
             max_slots: 200_000,
-            ncom_values: vec![5, 10, 20],
-            wmin_values: (1..=10).collect(),
+            suite: None,
+            ncom_values: None,
+            wmin_values: None,
             threads: 1,
             seed: 20130520,
             engine: SimMode::default(),
@@ -90,9 +97,10 @@ impl CliOptions {
                 "--cap" => opts.max_slots = parse_num(&take(arg)?, arg)?,
                 "--threads" => opts.threads = parse_num(&take(arg)?, arg)?,
                 "--seed" => opts.seed = parse_num(&take(arg)?, arg)?,
-                "--ncom" => opts.ncom_values = parse_list(&take(arg)?, arg)?,
+                "--suite" => opts.suite = Some(take(arg)?),
+                "--ncom" => opts.ncom_values = Some(parse_list(&take(arg)?, arg)?),
                 "--engine" => opts.engine = take(arg)?.parse()?,
-                "--wmin" => opts.wmin_values = parse_list(&take(arg)?, arg)?,
+                "--wmin" => opts.wmin_values = Some(parse_list(&take(arg)?, arg)?),
                 "--out" => opts.out = Some(PathBuf::from(take(arg)?)),
                 "--resume" => opts.resume = true,
                 "--full" => {
@@ -122,15 +130,32 @@ impl CliOptions {
         CliOptions::parse(std::env::args().skip(1))
     }
 
-    /// Build a campaign configuration from these options.
-    pub fn campaign(&self) -> CampaignConfig {
-        let mut config = CampaignConfig::reduced(self.scenarios, self.trials, self.max_slots);
-        config.ncom_values = self.ncom_values.clone();
-        config.wmin_values = self.wmin_values.clone();
+    /// Resolve the selected scenario suite: the `paper` preset unless
+    /// `--suite NAME|FILE` was given. Fails on an unknown preset name or an
+    /// unreadable/invalid suite file.
+    pub fn suite(&self) -> Result<SuiteSpec, String> {
+        match &self.suite {
+            None => Ok(SuiteSpec::paper()),
+            Some(arg) => SuiteSpec::resolve(arg),
+        }
+    }
+
+    /// Build a campaign configuration from these options: the suite supplies
+    /// the axes and generator model, explicit `--ncom`/`--wmin` flags
+    /// override the suite's sweeps, and the scale/seed/engine flags apply on
+    /// top. Fails only on an unresolvable `--suite`.
+    pub fn campaign(&self) -> Result<CampaignConfig, String> {
+        let mut config = self.suite()?.campaign(self.scenarios, self.trials, self.max_slots);
+        if let Some(ncom) = &self.ncom_values {
+            config.ncom_values = ncom.clone();
+        }
+        if let Some(wmin) = &self.wmin_values {
+            config.wmin_values = wmin.clone();
+        }
         config.base_seed = self.seed;
         config.threads = self.threads;
         config.engine = self.engine;
-        config
+        Ok(config)
     }
 
     /// Build the executor options (raw retention on — the binaries' table and
@@ -153,7 +178,8 @@ fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, S
 }
 
 fn help_text() -> String {
-    "usage: <binary> [--scenarios N] [--trials N] [--cap N] [--ncom a,b,c] \
+    "usage: <binary> [--scenarios N] [--trials N] [--cap N] \
+     [--suite paper|volatile|largegrid|commbound|FILE] [--ncom a,b,c] \
      [--wmin a,b,c] [--threads N (0 = auto)] [--seed N] [--engine slot|event] \
      [--out DIR] [--resume] [--full] [--quiet]"
         .to_string()
@@ -206,8 +232,8 @@ mod tests {
         assert_eq!(opts.scenarios, 5);
         assert_eq!(opts.trials, 2);
         assert_eq!(opts.max_slots, 50_000);
-        assert_eq!(opts.ncom_values, vec![5, 20]);
-        assert_eq!(opts.wmin_values, vec![1, 2, 3]);
+        assert_eq!(opts.ncom_values, Some(vec![5, 20]));
+        assert_eq!(opts.wmin_values, Some(vec![1, 2, 3]));
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.seed, 9);
         assert!(opts.quiet);
@@ -236,7 +262,7 @@ mod tests {
         assert_eq!(CliOptions::parse(Vec::<&str>::new()).unwrap().engine, SimMode::EventDriven);
         let slot = CliOptions::parse(["--engine", "slot"]).unwrap();
         assert_eq!(slot.engine, SimMode::SlotStepped);
-        assert_eq!(slot.campaign().engine, SimMode::SlotStepped);
+        assert_eq!(slot.campaign().unwrap().engine, SimMode::SlotStepped);
         let event = CliOptions::parse(["--engine", "event"]).unwrap();
         assert_eq!(event.engine, SimMode::EventDriven);
     }
@@ -263,10 +289,44 @@ mod tests {
     fn campaign_reflects_options() {
         let opts =
             CliOptions::parse(["--scenarios", "2", "--trials", "1", "--wmin", "1,5"]).unwrap();
-        let config = opts.campaign();
+        let config = opts.campaign().unwrap();
         assert_eq!(config.scenarios_per_point, 2);
         assert_eq!(config.trials_per_scenario, 1);
         assert_eq!(config.wmin_values, vec![1, 5]);
         assert_eq!(config.points().len(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn default_campaign_is_the_paper_suite() {
+        // Without --suite the campaign equals the historical default — the
+        // byte-compat anchor for the pre-suite binaries.
+        let config = CliOptions::parse(Vec::<&str>::new()).unwrap().campaign().unwrap();
+        let mut legacy = CampaignConfig::reduced(3, 3, 200_000);
+        legacy.base_seed = 20130520;
+        assert_eq!(config, legacy);
+        assert_eq!(config.suite_tag(), None);
+        assert!(config.model.is_paper());
+    }
+
+    #[test]
+    fn suite_flag_selects_axes_and_model() {
+        let opts = CliOptions::parse(["--suite", "volatile"]).unwrap();
+        let config = opts.campaign().unwrap();
+        assert_eq!(config.suite, "volatile");
+        assert_eq!(config.wmin_values, vec![1, 2, 3, 4, 5]);
+        assert!(!config.model.is_paper());
+
+        // Explicit sweeps override the suite's.
+        let opts = CliOptions::parse(["--suite", "volatile", "--wmin", "2"]).unwrap();
+        assert_eq!(opts.campaign().unwrap().wmin_values, vec![2]);
+
+        // largegrid resizes the platform.
+        let big = CliOptions::parse(["--suite", "largegrid"]).unwrap().campaign().unwrap();
+        assert_eq!(big.num_workers, 200);
+        assert_eq!(big.m_values, vec![20, 40]);
+
+        // Unknown suites fail with the preset list in the message.
+        let err = CliOptions::parse(["--suite", "warp"]).unwrap().campaign().unwrap_err();
+        assert!(err.contains("paper, volatile, largegrid, commbound"), "{err}");
     }
 }

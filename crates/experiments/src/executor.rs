@@ -28,6 +28,7 @@ use crate::campaign::{CampaignConfig, CampaignResults, InstanceResult};
 use crate::runner::{run_instance_on, trial_seed, InstanceSpec};
 use crate::store::{encode_instance, CampaignStore, ShardWriter, StoredInstance};
 use crate::stream::CampaignAccumulator;
+use crate::suite::fingerprint_suffix;
 use dg_availability::rng::derive_seed;
 use dg_availability::RealizedTrial;
 use dg_platform::{Scenario, ScenarioParams};
@@ -132,12 +133,16 @@ pub(crate) fn scenario_seed(base_seed: u64, point_index: usize, scenario_index: 
 /// determines results. `threads` is excluded (results are proven
 /// thread-count-independent) and so is `engine` (both engines produce
 /// identical outcomes), so a store can be resumed with a different thread
-/// count or engine.
+/// count or engine. For the default `paper` suite the fingerprint is
+/// byte-identical to the pre-suite format (old stores keep resuming); any
+/// other suite appends its name and canonical generator-model spec, so two
+/// suites can never share a store.
 pub fn config_fingerprint(config: &CampaignConfig) -> String {
+    let suite = fingerprint_suffix(&config.suite, &config.model);
     format!(
         "{{\"kind\":\"campaign\",\"m\":[{}],\"ncom\":[{}],\"wmin\":[{}],\"workers\":{},\
          \"iterations\":{},\"scenarios\":{},\"trials\":{},\"cap\":{},\"heuristics\":[{}],\
-         \"seed\":{},\"epsilon\":{:?}}}",
+         \"seed\":{},\"epsilon\":{:?}{suite}}}",
         join(&config.m_values),
         join(&config.ncom_values),
         join(&config.wmin_values),
@@ -158,7 +163,7 @@ fn join<T: std::fmt::Display>(xs: &[T]) -> String {
 
 /// Canonical slot of a stored instance within the campaign's flat result
 /// vector, or `None` if the record does not belong to this campaign (wrong
-/// parameters, out-of-range indices, unknown heuristic).
+/// suite tag, wrong parameters, out-of-range indices, unknown heuristic).
 fn slot_of(
     record: &StoredInstance,
     config: &CampaignConfig,
@@ -167,7 +172,8 @@ fn slot_of(
 ) -> Option<usize> {
     let p = record.point_index;
     let r = &record.result;
-    if points.get(p) != Some(&r.params)
+    if record.suite.as_deref() != config.suite_tag()
+        || points.get(p) != Some(&r.params)
         || r.scenario_index >= config.scenarios_per_point
         || r.trial_index >= config.trials_per_scenario
     {
@@ -244,7 +250,7 @@ where
             (0..per_scenario).any(|offset| prefilled_ref[base_slot + offset].is_none());
         let scenario = job_missing.then(|| {
             let seed = scenario_seed(config.base_seed, point_index, scenario_index);
-            Scenario::generate(params, seed)
+            Scenario::generate_with(params, &config.model, seed)
         });
         let mut block = Vec::with_capacity(per_scenario);
         let mut executed_in_job = 0usize;
@@ -255,7 +261,10 @@ where
                 let scenario = scenario.as_ref().expect("scenario generated for missing instance");
                 trials_realized.fetch_add(1, Ordering::Relaxed);
                 let ts = trial_seed(config.base_seed, scenario.seed, trial_index);
-                RealizedTrial::new(scenario.availability_for_trial(ts, false))
+                // Realized per the scenario's trial model (Markov chains for
+                // the paper suite; matched semi-Markov traces otherwise),
+                // capped at the campaign's slot horizon.
+                RealizedTrial::new(scenario.realize_trial(ts, config.max_slots))
             });
             for (i, heuristic) in config.heuristics.iter().enumerate() {
                 let result = match &prefilled_ref[trial_slots + i] {
@@ -313,7 +322,7 @@ where
         let keep_going = shards.consume(
             job,
             output.executed,
-            output.block.iter().map(|r| encode_instance(point_index, None, r)),
+            output.block.iter().map(|r| encode_instance(point_index, config.suite_tag(), None, r)),
         );
         if options.retain_raw {
             raw.extend(output.block);
@@ -489,7 +498,7 @@ mod tests {
             .results
             .iter()
             .enumerate()
-            .map(|(i, r)| encode_instance(i / per_point, None, r))
+            .map(|(i, r)| encode_instance(i / per_point, None, None, r))
             .collect::<Vec<_>>()
             .join("\n")
     }

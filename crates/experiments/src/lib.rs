@@ -22,7 +22,11 @@
 //! * [`tables`] — renders Table I (m = 5) and Table II (m = 10);
 //! * [`figures`] — produces the `%diff` vs `wmin` series of Figure 2;
 //! * [`sensitivity`] — the model-mismatch extension: the same heuristics run on
-//!   semi-Markov (Weibull / log-normal) availability traces.
+//!   semi-Markov (Weibull / log-normal) availability traces;
+//! * [`suite`] — named scenario suites over the generator axes of
+//!   [`dg_platform::generator`]: the `paper`, `volatile`, `largegrid` and
+//!   `commbound` presets, a hand-rolled text format for custom suites and
+//!   the `--suite NAME|FILE` resolution used by every binary.
 //!
 //! The binaries `table1`, `table2`, `figure2`, `sensitivity` and `report`
 //! print the corresponding paper artifacts; their `--scenarios/--trials/--cap`
@@ -53,6 +57,7 @@ pub mod runner;
 pub mod sensitivity;
 pub mod store;
 pub mod stream;
+pub mod suite;
 pub mod tables;
 
 pub use campaign::{CampaignConfig, CampaignResults, InstanceResult};
@@ -62,4 +67,5 @@ pub use executor::{
 pub use metrics::{HeuristicSummary, ReferenceComparison};
 pub use runner::{run_instance, run_instance_on, run_instance_with_report, InstanceSpec};
 pub use stream::CampaignAccumulator;
+pub use suite::SuiteSpec;
 pub use tables::render_table;

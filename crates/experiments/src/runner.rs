@@ -25,9 +25,10 @@ pub fn trial_seed(base_seed: u64, scenario_seed: u64, trial_index: usize) -> u64
     derive_seed(base_seed ^ scenario_seed, 0xA11C_E000 + trial_index as u64)
 }
 
-/// Run one instance: realize the scenario's availability for the trial, build
-/// the heuristic, and simulate until completion or the slot cap under the
-/// requested engine `mode`.
+/// Run one instance: realize the scenario's availability for the trial
+/// (according to the scenario's [`dg_platform::TrialModel`], with the slot
+/// cap as the trace horizon), build the heuristic, and simulate until
+/// completion or the slot cap under the requested engine `mode`.
 ///
 /// # Panics
 /// Panics if `max_slots` is zero (see [`SimulationLimits::with_max_slots`]);
@@ -58,7 +59,7 @@ pub fn run_instance_with_report(
     mode: SimMode,
 ) -> (SimOutcome, EngineReport) {
     let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
-    let availability = scenario.availability_for_trial(seed, false);
+    let availability = scenario.realize_trial(seed, max_slots);
     run_instance_on(scenario, spec, availability, base_seed, max_slots, epsilon, mode)
 }
 

@@ -13,13 +13,21 @@ use crate::executor::{fan_out, resolve_threads, scenario_seed};
 use crate::metrics::ReferenceComparison;
 use crate::runner::{run_instance_on, trial_seed, InstanceSpec};
 use crate::store::{encode_instance, CampaignStore, ShardWriter, StoredInstance};
+use crate::suite::fingerprint_suffix;
 use dg_availability::semi_markov::SemiMarkovModel;
-use dg_availability::{ProcState, RealizedTrial};
+use dg_availability::RealizedTrial;
 use dg_heuristics::HeuristicSpec;
-use dg_platform::{Scenario, ScenarioParams};
+use dg_platform::{Scenario, ScenarioModel, ScenarioParams};
 use dg_sim::SimMode;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// Build, for every worker of a scenario, a semi-Markov model whose mean `UP`
+/// sojourn and crash-vs-preemption mix match the worker's Markov chain.
+/// (Thin re-export of [`dg_platform::generator::matched_semi_markov_models`],
+/// where the matching now lives so scenario suites can realize semi-Markov
+/// trials too.)
+pub use dg_platform::generator::matched_semi_markov_models;
 
 /// Configuration of the sensitivity experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +52,13 @@ pub struct SensitivityConfig {
     pub engine: SimMode,
     /// Worker threads (`0` = auto-detect available parallelism).
     pub threads: usize,
+    /// Name of the scenario suite the scenarios are drawn from (`"paper"`
+    /// by default; non-paper suites tag the artifact store).
+    pub suite: String,
+    /// Generator model the scenarios are sampled under. Only the platform
+    /// axes matter here — the trial arms are fixed by the experiment itself
+    /// (Markov vs matched semi-Markov), so `model.trials` is ignored.
+    pub model: ScenarioModel,
 }
 
 impl SensitivityConfig {
@@ -63,7 +78,16 @@ impl SensitivityConfig {
             weibull_shape: 0.7,
             engine: SimMode::default(),
             threads: 1,
+            suite: "paper".to_string(),
+            model: ScenarioModel::paper(),
         }
+    }
+}
+
+impl SensitivityConfig {
+    /// The artifact-store suite tag: `None` for the untagged `paper` suite.
+    pub fn suite_tag(&self) -> Option<&str> {
+        crate::suite::store_tag(&self.suite)
     }
 }
 
@@ -75,24 +99,6 @@ pub struct SensitivityResults {
     pub markov: Vec<InstanceResult>,
     /// Outcomes under semi-Markov (Weibull/log-normal) availability.
     pub semi_markov: Vec<InstanceResult>,
-}
-
-/// Build, for every worker of a scenario, a semi-Markov model whose mean `UP`
-/// sojourn and crash-vs-preemption mix match the worker's Markov chain.
-pub fn matched_semi_markov_models(scenario: &Scenario, weibull_shape: f64) -> Vec<SemiMarkovModel> {
-    scenario
-        .platform
-        .chains()
-        .iter()
-        .map(|chain| {
-            let p_uu = chain.prob(ProcState::Up, ProcState::Up);
-            let p_ur = chain.prob(ProcState::Up, ProcState::Reclaimed);
-            let p_ud = chain.prob(ProcState::Up, ProcState::Down);
-            let mean_up = 1.0 / (1.0 - p_uu).max(1e-6);
-            let down_fraction = if p_ur + p_ud > 0.0 { p_ud / (p_ur + p_ud) } else { 0.0 };
-            SemiMarkovModel::weibull_lognormal(mean_up, weibull_shape, down_fraction)
-        })
-        .collect()
 }
 
 /// Tag of the Markov arm in the artifact store.
@@ -115,9 +121,10 @@ pub fn sensitivity_fingerprint(config: &SensitivityConfig) -> String {
         })
         .collect::<Vec<_>>()
         .join(",");
+    let suite = fingerprint_suffix(&config.suite, &config.model);
     format!(
         "{{\"kind\":\"sensitivity\",\"points\":[{points}],\"scenarios\":{},\"trials\":{},\
-         \"cap\":{},\"heuristics\":[{}],\"seed\":{},\"epsilon\":{:?},\"weibull_shape\":{:?}}}",
+         \"cap\":{},\"heuristics\":[{}],\"seed\":{},\"epsilon\":{:?},\"weibull_shape\":{:?}{suite}}}",
         config.scenarios_per_point,
         config.trials_per_scenario,
         config.max_slots,
@@ -133,7 +140,8 @@ pub fn sensitivity_fingerprint(config: &SensitivityConfig) -> String {
 fn sensitivity_slot(record: &StoredInstance, config: &SensitivityConfig) -> Option<usize> {
     let p = record.point_index;
     let r = &record.result;
-    if config.points.get(p) != Some(&r.params)
+    if record.suite.as_deref() != config.suite_tag()
+        || config.points.get(p) != Some(&r.params)
         || r.scenario_index >= config.scenarios_per_point
         || r.trial_index >= config.trials_per_scenario
     {
@@ -209,7 +217,9 @@ pub fn run_sensitivity_with(
             (0..pairs_per_job * 2).any(|offset| prefilled_ref[job_base + offset].is_none());
         let scenario = job_missing.then(|| {
             let seed = scenario_seed(config.base_seed, point_index, scenario_index);
-            let scenario = Scenario::generate(params, seed);
+            // The suite's platform axes apply; the two trial arms below are
+            // fixed by the experiment (Markov vs matched semi-Markov).
+            let scenario = Scenario::generate_with(params, &config.model, seed);
             let models = matched_semi_markov_models(&scenario, config.weibull_shape);
             (scenario, models)
         });
@@ -297,8 +307,8 @@ pub fn run_sensitivity_with(
             executed,
             block.iter().flat_map(|(m, s)| {
                 [
-                    encode_instance(point_index, Some(MODEL_MARKOV), m),
-                    encode_instance(point_index, Some(MODEL_SEMI), s),
+                    encode_instance(point_index, config.suite_tag(), Some(MODEL_MARKOV), m),
+                    encode_instance(point_index, config.suite_tag(), Some(MODEL_SEMI), s),
                 ]
             }),
         );
@@ -355,22 +365,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matched_models_have_matching_means() {
-        let scenario = Scenario::generate(ScenarioParams::paper(5, 10, 1), 5);
-        let models = matched_semi_markov_models(&scenario, 0.8);
-        assert_eq!(models.len(), scenario.platform.num_workers());
-        for (chain, model) in scenario.platform.chains().iter().zip(models.iter()) {
-            let p_uu = chain.prob(ProcState::Up, ProcState::Up);
-            let expected_mean = 1.0 / (1.0 - p_uu);
-            let actual_mean = model.up.holding.mean();
-            assert!(
-                (actual_mean - expected_mean).abs() / expected_mean < 0.01,
-                "mean UP sojourn {actual_mean} vs Markov {expected_mean}"
-            );
-        }
-    }
-
-    #[test]
     fn tiny_sensitivity_run_produces_paired_results() {
         let config = SensitivityConfig {
             points: vec![ScenarioParams {
@@ -392,6 +386,8 @@ mod tests {
             weibull_shape: 0.8,
             engine: SimMode::default(),
             threads: 1,
+            suite: "paper".to_string(),
+            model: ScenarioModel::paper(),
         };
         let results = run_sensitivity(&config);
         assert_eq!(results.markov.len(), 2);
@@ -417,6 +413,8 @@ mod tests {
             weibull_shape: 0.7,
             engine: SimMode::default(),
             threads: 1,
+            suite: "paper".to_string(),
+            model: ScenarioModel::paper(),
         }
     }
 
@@ -440,18 +438,31 @@ mod tests {
             },
         };
         for (model, model_index) in [(MODEL_MARKOV, 0), (MODEL_SEMI, 1)] {
-            let line = encode_instance(1, Some(model), &result);
+            let line = encode_instance(1, None, Some(model), &result);
             let record = crate::store::decode_instance(&line).unwrap();
             // point 1, scenario 1 -> job 3; trial 1; heuristic RANDOM -> 1.
             let expected = ((3 * 2 + 1) * 2 + 1) * 2 + model_index;
             assert_eq!(sensitivity_slot(&record, &config), Some(expected));
         }
         // Records that do not belong to the configuration slot to None.
-        let line = encode_instance(5, Some(MODEL_MARKOV), &result);
+        let line = encode_instance(5, None, Some(MODEL_MARKOV), &result);
         let record = crate::store::decode_instance(&line).unwrap();
         assert_eq!(sensitivity_slot(&record, &config), None);
-        let untagged = crate::store::decode_instance(&encode_instance(1, None, &result)).unwrap();
+        let untagged =
+            crate::store::decode_instance(&encode_instance(1, None, None, &result)).unwrap();
         assert_eq!(sensitivity_slot(&untagged, &config), None);
+        // Suite-tagged records only slot into the matching suite's config.
+        let foreign = crate::store::decode_instance(&encode_instance(
+            1,
+            Some("volatile"),
+            Some(MODEL_MARKOV),
+            &result,
+        ))
+        .unwrap();
+        assert_eq!(sensitivity_slot(&foreign, &config), None);
+        let mut volatile_config = config.clone();
+        volatile_config.suite = "volatile".to_string();
+        assert_eq!(sensitivity_slot(&foreign, &volatile_config), Some(((3 * 2 + 1) * 2 + 1) * 2));
     }
 
     #[test]

@@ -47,13 +47,17 @@ pub fn shard_name(point_index: usize) -> String {
     format!("point-{point_index:04}.jsonl")
 }
 
-/// A record of one finished instance, optionally tagged with an availability
-/// model name (the sensitivity experiment stores `markov` and `semi` runs in
-/// the same shard).
+/// A record of one finished instance, optionally tagged with the scenario
+/// suite it was generated under (`None` for the default `paper` suite, whose
+/// records stay byte-identical to the pre-suite format) and with an
+/// availability model name (the sensitivity experiment stores `markov` and
+/// `semi` runs in the same shard).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredInstance {
     /// Index of the experiment point within the campaign's point list.
     pub point_index: usize,
+    /// Suite tag (`None` for the `paper` suite).
+    pub suite: Option<String>,
     /// Availability-model tag (`None` for plain campaigns).
     pub model: Option<String>,
     /// The instance itself.
@@ -65,10 +69,18 @@ pub struct StoredInstance {
 /// The key order is fixed, every quantity is an integer or a plain string,
 /// and failed makespans encode as `null` — so encoding is deterministic and
 /// decoding reproduces the instance exactly.
-pub fn encode_instance(point_index: usize, model: Option<&str>, r: &InstanceResult) -> String {
+pub fn encode_instance(
+    point_index: usize,
+    suite: Option<&str>,
+    model: Option<&str>,
+    r: &InstanceResult,
+) -> String {
     let mut s = String::with_capacity(256);
     s.push('{');
     let _ = write!(s, "\"point\":{point_index}");
+    if let Some(suite) = suite {
+        let _ = write!(s, ",\"suite\":\"{suite}\"");
+    }
     if let Some(model) = model {
         let _ = write!(s, ",\"model\":\"{model}\"");
     }
@@ -111,6 +123,7 @@ pub fn encode_instance(point_index: usize, model: Option<&str>, r: &InstanceResu
 pub fn decode_instance(line: &str) -> Result<StoredInstance, String> {
     let mut fields = FieldParser::new(line)?;
     let point_index = fields.take_usize("point")?;
+    let suite = fields.take_optional_string("suite")?;
     let model = fields.take_optional_string("model")?;
     let params = ScenarioParams {
         num_workers: fields.take_usize("workers")?,
@@ -140,6 +153,7 @@ pub fn decode_instance(line: &str) -> Result<StoredInstance, String> {
     fields.finish()?;
     Ok(StoredInstance {
         point_index,
+        suite,
         model,
         result: InstanceResult { params, scenario_index, trial_index, heuristic, outcome },
     })
@@ -512,21 +526,39 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrips_exactly() {
-        for (model, makespan) in [(None, Some(431)), (Some("semi"), None)] {
+        for (suite, model, makespan) in [
+            (None, None, Some(431)),
+            (None, Some("semi"), None),
+            (Some("volatile"), None, Some(12)),
+            (Some("largegrid"), Some("markov"), None),
+        ] {
             let r = sample(makespan);
-            let line = encode_instance(7, model, &r);
+            let line = encode_instance(7, suite, model, &r);
             let decoded = decode_instance(&line).unwrap();
             assert_eq!(decoded.point_index, 7);
+            assert_eq!(decoded.suite.as_deref(), suite);
             assert_eq!(decoded.model.as_deref(), model);
             assert_eq!(decoded.result, r);
             // Re-encoding is byte-identical: the serialization is canonical.
-            assert_eq!(encode_instance(7, model, &decoded.result), line);
+            assert_eq!(encode_instance(7, suite, model, &decoded.result), line);
         }
     }
 
     #[test]
+    fn untagged_records_keep_the_pre_suite_byte_format() {
+        // The paper suite's records carry no suite field at all, so its
+        // shards stay byte-identical to stores written before suites existed.
+        let r = sample(Some(99));
+        let line = encode_instance(3, None, None, &r);
+        assert!(!line.contains("suite"));
+        assert!(line.starts_with("{\"point\":3,\"workers\":"));
+        let tagged = encode_instance(3, Some("volatile"), None, &r);
+        assert!(tagged.starts_with("{\"point\":3,\"suite\":\"volatile\",\"workers\":"));
+    }
+
+    #[test]
     fn truncated_and_corrupt_lines_are_rejected() {
-        let line = encode_instance(0, None, &sample(Some(10)));
+        let line = encode_instance(0, Some("volatile"), None, &sample(Some(10)));
         for cut in [1, line.len() / 2, line.len() - 1] {
             assert!(decode_instance(&line[..cut]).is_err(), "cut at {cut} decoded");
         }
@@ -539,8 +571,8 @@ mod tests {
     fn store_roundtrip_and_truncation_recovery() {
         let dir = temp_dir("roundtrip");
         let store = CampaignStore::open(&dir, "{\"k\":1}".to_string(), false).unwrap();
-        let a = encode_instance(0, None, &sample(Some(100)));
-        let b = encode_instance(0, None, &sample(None));
+        let a = encode_instance(0, None, None, &sample(Some(100)));
+        let b = encode_instance(0, None, None, &sample(None));
         store.write_shard(0, &[a.clone(), b.clone()]).unwrap();
         assert!(!store.is_complete().unwrap());
         store.finalize().unwrap();
@@ -575,7 +607,7 @@ mod tests {
     fn fresh_open_clears_stale_shards_and_tmp_leftovers() {
         let dir = temp_dir("stale");
         let store = CampaignStore::open(&dir, "{}".to_string(), false).unwrap();
-        store.write_shard(3, &[encode_instance(3, None, &sample(Some(5)))]).unwrap();
+        store.write_shard(3, &[encode_instance(3, None, None, &sample(Some(5)))]).unwrap();
         // A crash inside write_shard can leave a .tmp behind the rename.
         let orphan = dir.join(format!("{}.tmp", shard_name(7)));
         fs::write(&orphan, "partial").unwrap();

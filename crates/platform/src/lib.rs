@@ -15,7 +15,11 @@
 //!   tasks per iteration and the number of iterations to complete;
 //! * [`Platform`] — the collection of workers plus their availability chains;
 //! * [`Scenario`] / [`ScenarioParams`] — a fully instantiated experimental
-//!   scenario following the methodology of Section VII-A.
+//!   scenario following the methodology of Section VII-A;
+//! * [`generator`] — composable generator axes ([`SpeedProfile`],
+//!   [`AvailabilityRegime`], [`TrialModel`], [`AppShape`]) that generalize
+//!   the paper's synthetic space into arbitrary scenario suites; the paper's
+//!   space is the [`ScenarioModel::paper`] point of the axis cross-product.
 //!
 //! Dynamic behaviour (who is UP when, what the scheduler decides, how an
 //! iteration progresses) lives in `dg-availability`, `dg-heuristics` and
@@ -24,12 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod application;
+pub mod generator;
 pub mod master;
 pub mod platform;
 pub mod scenario;
 pub mod worker;
 
 pub use application::ApplicationSpec;
+pub use generator::{
+    AppShape, AvailabilityRegime, ScenarioModel, SpeedProfile, TrialAvailability, TrialModel,
+};
 pub use master::MasterSpec;
 pub use platform::Platform;
 pub use scenario::{Scenario, ScenarioParams};

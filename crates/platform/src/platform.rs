@@ -1,5 +1,6 @@
 //! The platform: workers and their availability chains.
 
+use crate::generator::{AvailabilityRegime, SpeedProfile};
 use crate::worker::WorkerSpec;
 use dg_availability::MarkovChain3;
 use rand::Rng;
@@ -33,12 +34,34 @@ impl Platform {
     /// Sample a platform following the paper's Section VII-A methodology:
     /// `p` workers with speed `w_q` drawn uniformly in `[wmin, 10·wmin]` and
     /// availability chains with self-loop probabilities uniform in
-    /// `[0.90, 0.99]` (remaining mass split evenly).
+    /// `[0.90, 0.99]` (remaining mass split evenly). Equivalent to
+    /// [`Platform::sample_profile`] with the paper profile and regime.
     pub fn sample_paper_model<R: Rng + ?Sized>(p: usize, wmin: u64, rng: &mut R) -> Self {
+        Platform::sample_profile(
+            p,
+            wmin,
+            &SpeedProfile::PaperUniform,
+            &AvailabilityRegime::Paper,
+            rng,
+        )
+    }
+
+    /// Sample a platform under generalized generator axes: `p` workers whose
+    /// speeds follow `speeds` and whose availability chains follow `regime`.
+    /// All speeds are drawn first (one per worker, in index order), then all
+    /// chains — the same draw order as the paper model, of which this is the
+    /// `(PaperUniform, Paper)` generalization.
+    pub fn sample_profile<R: Rng + ?Sized>(
+        p: usize,
+        wmin: u64,
+        speeds: &SpeedProfile,
+        regime: &AvailabilityRegime,
+        rng: &mut R,
+    ) -> Self {
         assert!(p > 0, "a platform needs at least one worker");
         assert!(wmin > 0, "wmin must be at least 1");
-        let workers = (0..p).map(|_| WorkerSpec::new(rng.gen_range(wmin..=10 * wmin))).collect();
-        let chains = (0..p).map(|_| MarkovChain3::sample_paper_model(rng)).collect();
+        let workers = (0..p).map(|_| WorkerSpec::new(speeds.sample(wmin, rng))).collect();
+        let chains = (0..p).map(|_| regime.sample_chain(rng)).collect();
         Platform::new(workers, chains)
     }
 
@@ -112,6 +135,40 @@ mod tests {
             for s in ProcState::ALL {
                 let sl = p.chain(q).prob(s, s);
                 assert!((0.90..=0.99).contains(&sl));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_profile_paper_axes_match_paper_model_exactly() {
+        // The generalized sampler under the paper axes draws the very same
+        // RNG sequence as the paper model — the byte-compat anchor.
+        let a = Platform::sample_paper_model(20, 3, &mut rng_from_seed(7));
+        let b = Platform::sample_profile(
+            20,
+            3,
+            &SpeedProfile::PaperUniform,
+            &AvailabilityRegime::Paper,
+            &mut rng_from_seed(7),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_profile_non_paper_axes() {
+        let mut rng = rng_from_seed(8);
+        let p = Platform::sample_profile(
+            30,
+            2,
+            &SpeedProfile::Clustered { fast_fraction: 0.5, slow_factor: 6 },
+            &AvailabilityRegime::Volatile,
+            &mut rng,
+        );
+        assert_eq!(p.num_workers(), 30);
+        for q in 0..30 {
+            assert!((2..=24).contains(&p.worker(q).speed));
+            for s in ProcState::ALL {
+                assert!((0.60..=0.85).contains(&p.chain(q).prob(s, s)));
             }
         }
     }

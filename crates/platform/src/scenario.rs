@@ -8,9 +8,11 @@
 //! realize processor availability.
 
 use crate::application::ApplicationSpec;
+use crate::generator::{matched_semi_markov_models, ScenarioModel, TrialAvailability, TrialModel};
 use crate::master::MasterSpec;
 use crate::platform::Platform;
 use dg_availability::rng::sub_rng;
+use dg_availability::semi_markov::SemiMarkovModel;
 use dg_availability::trace::MarkovAvailability;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +68,9 @@ pub struct Scenario {
     pub master: MasterSpec,
     /// Seed used to generate this scenario (for provenance).
     pub seed: u64,
+    /// How trial availability is realized from this scenario (Markov chains
+    /// by default; see [`TrialModel`]).
+    pub trial_model: TrialModel,
 }
 
 impl Scenario {
@@ -74,28 +79,60 @@ impl Scenario {
     /// `~ U[0.90, 0.99]` (remaining mass split evenly), `Tdata = wmin`,
     /// `Tprog = 5·wmin`.
     pub fn generate(params: ScenarioParams, seed: u64) -> Self {
+        Scenario::generate_with(params, &ScenarioModel::paper(), seed)
+    }
+
+    /// Generate a scenario under explicit generator axes (see
+    /// [`ScenarioModel`]): speeds from `model.speeds`, availability chains
+    /// from `model.availability`, `Tprog`/`Tdata` scaled by `model.app` and
+    /// trial realization governed by `model.trials`.
+    ///
+    /// Under [`ScenarioModel::paper`] this is draw-for-draw identical to
+    /// [`Scenario::generate`] — the suite layer's `paper` preset therefore
+    /// reproduces the original campaign byte-for-byte.
+    pub fn generate_with(params: ScenarioParams, model: &ScenarioModel, seed: u64) -> Self {
         let mut rng = sub_rng(seed, 0x504C_4154); // "PLAT" stream
-        let platform = Platform::sample_paper_model(params.num_workers, params.wmin, &mut rng);
+        let platform = Platform::sample_profile(
+            params.num_workers,
+            params.wmin,
+            &model.speeds,
+            &model.availability,
+            &mut rng,
+        );
         let application = ApplicationSpec::new(params.tasks_per_iteration, params.iterations);
-        let master = MasterSpec::from_slots(params.ncom, 5 * params.wmin, params.wmin);
-        Scenario { params, platform, application, master, seed }
+        let master = MasterSpec::from_slots(
+            params.ncom,
+            model.app.prog_factor * params.wmin,
+            model.app.data_factor * params.wmin,
+        );
+        Scenario { params, platform, application, master, seed, trial_model: model.trials }
     }
 
     /// Build a scenario from explicit components (used by tests and examples
     /// that need full control, e.g. the Figure 1 worked example).
+    ///
+    /// The provenance `params` are carried explicitly — they used to be
+    /// inferred from the components, which silently mis-reported `wmin` as
+    /// `Tdata` for any non-paper master shape. The derivable fields must
+    /// still agree with the components.
+    ///
+    /// # Panics
+    /// Panics if `params` disagrees with the components on the worker count,
+    /// tasks per iteration, iteration count or `ncom`.
     pub fn from_parts(
+        params: ScenarioParams,
         platform: Platform,
         application: ApplicationSpec,
         master: MasterSpec,
     ) -> Self {
-        let params = ScenarioParams {
-            num_workers: platform.num_workers(),
-            tasks_per_iteration: application.tasks_per_iteration,
-            ncom: master.ncom,
-            wmin: master.t_data.max(1),
-            iterations: application.iterations,
-        };
-        Scenario { params, platform, application, master, seed: 0 }
+        assert_eq!(params.num_workers, platform.num_workers(), "params/platform worker mismatch");
+        assert_eq!(
+            params.tasks_per_iteration, application.tasks_per_iteration,
+            "params/application task-count mismatch"
+        );
+        assert_eq!(params.iterations, application.iterations, "params/application iterations");
+        assert_eq!(params.ncom, master.ncom, "params/master ncom mismatch");
+        Scenario { params, platform, application, master, seed: 0, trial_model: TrialModel::Markov }
     }
 
     /// `true` if the platform can hold the application at all
@@ -116,6 +153,29 @@ impl Scenario {
         random_start: bool,
     ) -> MarkovAvailability {
         MarkovAvailability::new(self.platform.chains().to_vec(), trial_seed, random_start)
+    }
+
+    /// Create the availability realization for one simulation trial according
+    /// to the scenario's [`TrialModel`].
+    ///
+    /// * [`TrialModel::Markov`] — a lazy Markov realization of the chains,
+    ///   exactly [`Scenario::availability_for_trial`] (every worker starts
+    ///   `UP`); `horizon` is ignored.
+    /// * [`TrialModel::SemiMarkov`] — matched semi-Markov traces of `horizon`
+    ///   slots (the slot cap of the run; past the horizon the last state
+    ///   persists, matching [`dg_availability::TraceSet`] semantics).
+    pub fn realize_trial(&self, trial_seed: u64, horizon: u64) -> TrialAvailability {
+        match self.trial_model {
+            TrialModel::Markov => {
+                TrialAvailability::Markov(self.availability_for_trial(trial_seed, false))
+            }
+            TrialModel::SemiMarkov { shape } => {
+                let models = matched_semi_markov_models(self, shape);
+                TrialAvailability::Traces(SemiMarkovModel::generate_set(
+                    &models, horizon, trial_seed,
+                ))
+            }
+        }
     }
 }
 
@@ -169,21 +229,119 @@ mod tests {
         }
     }
 
+    fn parts_params(wmin: u64) -> ScenarioParams {
+        ScenarioParams { num_workers: 2, tasks_per_iteration: 5, ncom: 2, wmin, iterations: 1 }
+    }
+
     #[test]
     fn from_parts_feasibility() {
         let platform = Platform::reliable_homogeneous(2, 1);
         let app = ApplicationSpec::new(5, 1);
         let master = MasterSpec::from_slots(2, 1, 1);
-        let s = Scenario::from_parts(platform, app, master);
+        let s = Scenario::from_parts(parts_params(1), platform, app, master);
         assert!(s.is_feasible());
+        assert_eq!(s.trial_model, TrialModel::Markov);
 
         let workers = vec![crate::worker::WorkerSpec::with_capacity(1, 1); 2];
         let chains = vec![dg_availability::MarkovChain3::always_up(); 2];
         let tight = Scenario::from_parts(
+            parts_params(1),
             Platform::new(workers, chains),
             ApplicationSpec::new(5, 1),
             MasterSpec::from_slots(2, 1, 1),
         );
         assert!(!tight.is_feasible());
+    }
+
+    #[test]
+    fn from_parts_carries_explicit_params() {
+        // The old code inferred wmin = Tdata.max(1); with an explicit-params
+        // API, provenance no longer depends on the master's transfer costs.
+        let s = Scenario::from_parts(
+            parts_params(7),
+            Platform::reliable_homogeneous(2, 7),
+            ApplicationSpec::new(5, 1),
+            MasterSpec::from_slots(2, 7, 0), // Tdata = 0: compute-heavy shape
+        );
+        assert_eq!(s.params.wmin, 7);
+        assert_eq!(s.master.t_data, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_inconsistent_params() {
+        let mut params = parts_params(1);
+        params.num_workers = 3; // platform has 2 workers
+        let _ = Scenario::from_parts(
+            params,
+            Platform::reliable_homogeneous(2, 1),
+            ApplicationSpec::new(5, 1),
+            MasterSpec::from_slots(2, 1, 1),
+        );
+    }
+
+    #[test]
+    fn generate_with_paper_model_equals_generate() {
+        let params = ScenarioParams::paper(10, 5, 4);
+        let a = Scenario::generate(params, 99);
+        let b = Scenario::generate_with(params, &ScenarioModel::paper(), 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_with_applies_every_axis() {
+        use crate::generator::{AppShape, AvailabilityRegime, SpeedProfile};
+        let model = ScenarioModel {
+            speeds: SpeedProfile::Uniform { max_factor: 3 },
+            availability: AvailabilityRegime::Stable,
+            trials: TrialModel::SemiMarkov { shape: 0.7 },
+            app: AppShape::comm_heavy(),
+        };
+        let params = ScenarioParams::paper(5, 10, 2);
+        let s = Scenario::generate_with(params, &model, 7);
+        assert_eq!(s.master.t_prog, 40); // 20 * wmin
+        assert_eq!(s.master.t_data, 8); // 4 * wmin
+        assert_eq!(s.trial_model, TrialModel::SemiMarkov { shape: 0.7 });
+        for q in 0..20 {
+            assert!((2..=6).contains(&s.platform.worker(q).speed));
+            let p_uu = s
+                .platform
+                .chain(q)
+                .prob(dg_availability::ProcState::Up, dg_availability::ProcState::Up);
+            assert!((0.995..=0.999).contains(&p_uu));
+        }
+    }
+
+    #[test]
+    fn realize_trial_matches_trial_model() {
+        use dg_availability::trace::AvailabilityModel;
+        let params = ScenarioParams::paper(5, 10, 1);
+        let markov = Scenario::generate(params, 3);
+        match markov.realize_trial(11, 500) {
+            TrialAvailability::Markov(mut m) => {
+                let mut direct = markov.availability_for_trial(11, false);
+                for t in 0..200 {
+                    assert_eq!(m.state(0, t), direct.state(0, t));
+                }
+            }
+            TrialAvailability::Traces(_) => panic!("Markov scenario realized traces"),
+        }
+
+        let mut model = ScenarioModel::paper();
+        model.trials = TrialModel::SemiMarkov { shape: 0.7 };
+        let semi = Scenario::generate_with(params, &model, 3);
+        match semi.realize_trial(11, 500) {
+            TrialAvailability::Traces(t) => {
+                assert_eq!(t.num_procs(), 20);
+                assert_eq!(t.trace(0).len(), 500);
+            }
+            TrialAvailability::Markov(_) => panic!("semi-Markov scenario realized chains"),
+        }
+        // Same seed, same realization.
+        let mut a = semi.realize_trial(11, 300);
+        let mut b = semi.realize_trial(11, 300);
+        for t in 0..300 {
+            assert_eq!(a.state(3, t), b.state(3, t));
+        }
     }
 }

@@ -10,6 +10,7 @@
 use desktop_grid_scheduling::experiments::campaign::{run_campaign, CampaignConfig};
 use desktop_grid_scheduling::experiments::tables::{render_table, table_comparison};
 use desktop_grid_scheduling::heuristics::HeuristicSpec;
+use desktop_grid_scheduling::platform::ScenarioModel;
 use desktop_grid_scheduling::sim::SimMode;
 
 fn main() {
@@ -29,6 +30,8 @@ fn main() {
         epsilon: 1e-7,
         threads: 1,
         engine: SimMode::EventDriven,
+        suite: "paper".to_string(),
+        model: ScenarioModel::paper(),
     };
     eprintln!("running {} simulations...", config.total_runs());
     let results = run_campaign(&config, |done, total| {

@@ -59,7 +59,8 @@ pub mod prelude {
     };
     pub use dg_offline::{greedy_mu1, solve_mu1_exact, EncdInstance, OfflineInstance};
     pub use dg_platform::{
-        ApplicationSpec, MasterSpec, Platform, Scenario, ScenarioParams, WorkerSpec,
+        AppShape, ApplicationSpec, AvailabilityRegime, MasterSpec, Platform, Scenario,
+        ScenarioModel, ScenarioParams, SpeedProfile, TrialModel, WorkerSpec,
     };
     pub use dg_sim::{
         Assignment, Decision, EventKind, FixedAssignmentScheduler, Scheduler, SimOutcome,

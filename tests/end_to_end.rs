@@ -60,6 +60,8 @@ fn informed_heuristics_beat_random_on_average() {
         epsilon: 1e-6,
         threads: 1,
         engine: SimMode::EventDriven,
+        suite: "paper".to_string(),
+        model: ScenarioModel::paper(),
     };
     let results = run_campaign(&config, |_, _| {});
     let refs: Vec<_> = results.results.iter().collect();

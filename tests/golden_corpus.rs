@@ -1,0 +1,102 @@
+//! Golden-corpus regression tests.
+//!
+//! Small campaign outputs — Table I and Figure 2 renderings plus the JSONL
+//! shard encoding of the artifact store — are committed under
+//! `tests/golden/` and asserted **byte-identical** at a fixed seed. This
+//! locks in the executor's determinism guarantees (canonical ordering across
+//! thread counts, exact integer round-trips through the store, stable table
+//! rendering): any change that perturbs a single byte of campaign output
+//! fails here, not in a reviewer's diff of `EXPERIMENTS.md`.
+//!
+//! To regenerate the corpus after an *intentional* output change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_corpus
+//! ```
+
+use desktop_grid_scheduling::experiments::cli::CliOptions;
+use desktop_grid_scheduling::experiments::executor::{run_campaign_with, ExecutorOptions};
+use desktop_grid_scheduling::experiments::figures::Figure;
+use desktop_grid_scheduling::experiments::store::shard_name;
+use desktop_grid_scheduling::experiments::tables::{render_table, table_comparison};
+use desktop_grid_scheduling::heuristics::HeuristicSpec;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+/// Assert `actual` matches the committed fixture byte-for-byte, or rewrite
+/// the fixture when `GOLDEN_UPDATE` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot write {name}: {e}"));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {name} ({e}); run GOLDEN_UPDATE=1 cargo test --test golden_corpus")
+    });
+    assert_eq!(
+        expected, actual,
+        "golden fixture {name} diverged — if the output change is intentional, regenerate with \
+         GOLDEN_UPDATE=1 cargo test --test golden_corpus"
+    );
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dg-golden-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The Table I golden campaign: the CI smoke invocation
+/// (`--scenarios 1 --trials 1 --wmin 1,2`) at the default seed, run on
+/// 4 threads with a store attached — so the fixture also pins the
+/// thread-count-independence of tables *and* shard bytes (the corpus was
+/// generated single-threaded).
+#[test]
+fn table1_rendering_and_shards_match_golden_corpus() {
+    let opts =
+        CliOptions::parse(["--scenarios", "1", "--trials", "1", "--wmin", "1,2", "--threads", "4"])
+            .unwrap();
+    let config = opts.campaign().unwrap().with_m(5);
+    let dir = temp_store("table1");
+    let options = ExecutorOptions::new().retain_raw(true).store(&dir, false);
+    let outcome = run_campaign_with(&config, &options, |_, _| {}).unwrap();
+
+    let results = outcome.results;
+    let subset: Vec<_> = results.results.iter().collect();
+    let comparison = table_comparison(&subset, "IE", &results.heuristic_names());
+    let table = render_table("TABLE I. RESULTS WITH m = 5 TASKS.", &comparison);
+    check_golden("table1_m5.txt", &table);
+
+    // Shard bytes, concatenated in point order.
+    let mut shards = String::new();
+    for point in 0..config.points().len() {
+        shards.push_str(&fs::read_to_string(dir.join(shard_name(point))).unwrap());
+    }
+    check_golden("table1_shards.jsonl", &shards);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The Figure 2 golden campaign: 8 heuristics at `m = 10`, `wmin ∈ {1, 2}`,
+/// rendered figure plus its CSV series.
+#[test]
+fn figure2_rendering_matches_golden_corpus() {
+    const FIGURE2_HEURISTICS: [&str; 8] =
+        ["E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"];
+    let opts = CliOptions::parse(["--scenarios", "1", "--trials", "1", "--wmin", "1,2"]).unwrap();
+    let heuristics: Vec<HeuristicSpec> =
+        FIGURE2_HEURISTICS.iter().map(|n| HeuristicSpec::parse(n).unwrap()).collect();
+    let config = opts.campaign().unwrap().with_m(10).with_heuristics(heuristics);
+    let outcome =
+        run_campaign_with(&config, &ExecutorOptions::new().retain_raw(true), |_, _| {}).unwrap();
+
+    let names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
+    let figure = Figure::compute(&outcome.results, 10, "IE", &names);
+    let rendered = format!("{}\nCSV:\n{}", figure.render(), figure.to_csv());
+    check_golden("figure2_m10.txt", &rendered);
+}

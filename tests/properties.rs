@@ -209,3 +209,136 @@ proptest! {
         prop_assert!(event_report.executed_slots <= slot_report.executed_slots);
     }
 }
+
+/// Strategy over every speed profile with random parameters.
+fn speed_profile() -> impl Strategy<Value = SpeedProfile> {
+    (0u8..4, 2u64..12, 0.0f64..1.0, 0.5f64..3.0).prop_map(|(kind, factor, fraction, alpha)| {
+        match kind {
+            0 => SpeedProfile::PaperUniform,
+            1 => SpeedProfile::Uniform { max_factor: factor },
+            2 => SpeedProfile::Clustered { fast_fraction: fraction, slow_factor: factor },
+            _ => SpeedProfile::PowerLaw { alpha, max_factor: factor },
+        }
+    })
+}
+
+/// Strategy over every availability regime, including random self-loop ranges.
+fn availability_regime() -> impl Strategy<Value = AvailabilityRegime> {
+    (0u8..4, 0.5f64..0.9, 0.0f64..0.09).prop_map(|(kind, lo, width)| match kind {
+        0 => AvailabilityRegime::Paper,
+        1 => AvailabilityRegime::Volatile,
+        2 => AvailabilityRegime::Stable,
+        _ => AvailabilityRegime::SelfLoops { lo, hi: lo + width },
+    })
+}
+
+/// Strategy over full generator models (all four axes).
+fn scenario_model() -> impl Strategy<Value = ScenarioModel> {
+    (speed_profile(), availability_regime(), any::<bool>(), 0.5f64..1.5, 1u64..8, 0u64..3).prop_map(
+        |(speeds, availability, semi, shape, prog, data)| ScenarioModel {
+            speeds,
+            availability,
+            trials: if semi { TrialModel::SemiMarkov { shape } } else { TrialModel::Markov },
+            app: AppShape { prog_factor: prog, data_factor: data },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_speeds_stay_in_profile_bounds(
+        profile in speed_profile(),
+        wmin in 1u64..8,
+        seed in 0u64..500,
+    ) {
+        use desktop_grid_scheduling::availability::rng::rng_from_seed;
+        let mut rng = rng_from_seed(seed);
+        let (lo, hi) = profile.bounds(wmin);
+        prop_assert!(lo >= wmin);
+        for _ in 0..50 {
+            let speed = profile.sample(wmin, &mut rng);
+            prop_assert!(
+                (lo..=hi).contains(&speed),
+                "{profile:?}: speed {speed} outside [{lo}, {hi}] at wmin {wmin}"
+            );
+        }
+    }
+
+    #[test]
+    fn regime_chains_are_row_stochastic_and_in_range(
+        regime in availability_regime(),
+        seed in 0u64..500,
+    ) {
+        use desktop_grid_scheduling::availability::rng::rng_from_seed;
+        let mut rng = rng_from_seed(seed);
+        let (lo, hi) = regime.self_loop_range();
+        for _ in 0..20 {
+            let chain = regime.sample_chain(&mut rng);
+            prop_assert!(chain.transition_matrix().is_row_stochastic());
+            for s in ProcState::ALL {
+                let p = chain.prob(s, s);
+                prop_assert!((lo..=hi).contains(&p), "self-loop {p} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn same_model_and_seed_regenerates_identical_scenarios(
+        model in scenario_model(),
+        workers in 2usize..25,
+        m in 1usize..8,
+        wmin in 1u64..5,
+        seed in 0u64..10_000,
+    ) {
+        let params = ScenarioParams {
+            num_workers: workers,
+            tasks_per_iteration: m,
+            ncom: 4,
+            wmin,
+            iterations: 3,
+        };
+        let a = Scenario::generate_with(params, &model, seed);
+        let b = Scenario::generate_with(params, &model, seed);
+        prop_assert_eq!(&a, &b, "same (model, seed) produced different scenarios");
+        // And the trial realizations they induce are identical too.
+        let mut ra = a.realize_trial(seed ^ 0xA5A5, 200);
+        let mut rb = b.realize_trial(seed ^ 0xA5A5, 200);
+        for q in 0..workers {
+            for t in 0..100u64 {
+                prop_assert_eq!(ra.state(q, t), rb.state(q, t));
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_sampled_non_paper_suites(
+        model in scenario_model(),
+        seed in 0u64..10_000,
+    ) {
+        // Event-driven and slot-stepped runs must stay byte-identical on
+        // arbitrary generator models, not just the paper point.
+        let params = ScenarioParams {
+            num_workers: 6,
+            tasks_per_iteration: 3,
+            ncom: 3,
+            wmin: 2,
+            iterations: 2,
+        };
+        let scenario = Scenario::generate_with(params, &model, seed);
+        for name in ["IE", "Y-IE"] {
+            let spec = InstanceSpec {
+                scenario_index: 0,
+                trial_index: 0,
+                heuristic: HeuristicSpec::parse(name).unwrap(),
+            };
+            let slot = run_instance(&scenario, &spec, seed, 10_000, 1e-6, SimMode::SlotStepped);
+            let event = run_instance(&scenario, &spec, seed, 10_000, 1e-6, SimMode::EventDriven);
+            prop_assert_eq!(
+                &slot, &event,
+                "{} diverged between engines on model {:?} (seed {})", name, model, seed
+            );
+        }
+    }
+}

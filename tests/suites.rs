@@ -1,0 +1,152 @@
+//! End-to-end tests of the scenario-suite layer: every non-paper preset runs
+//! through the streaming executor with a suite-tagged, resumable store, the
+//! two simulation engines agree on each, and `--resume` refuses to mix
+//! shards from a different suite.
+
+use desktop_grid_scheduling::experiments::campaign::CampaignConfig;
+use desktop_grid_scheduling::experiments::executor::{
+    config_fingerprint, run_campaign_with, ExecutorOptions,
+};
+use desktop_grid_scheduling::experiments::store::{decode_instance, shard_name, CampaignStore};
+use desktop_grid_scheduling::experiments::suite::{SuiteSpec, PRESET_NAMES};
+use desktop_grid_scheduling::heuristics::HeuristicSpec;
+use desktop_grid_scheduling::platform::TrialModel;
+use desktop_grid_scheduling::sim::SimMode;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dg-suites-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A CI-sized projection of a suite: its first `(m, ncom, wmin)` point,
+/// 1 scenario × 1 trial, three heuristics, a small cap.
+fn trimmed(suite: &SuiteSpec) -> CampaignConfig {
+    let mut config = suite.campaign(1, 1, 20_000);
+    config.m_values = vec![suite.m_values[0]];
+    config.ncom_values = vec![suite.ncom_values[0]];
+    config.wmin_values = vec![suite.wmin_values[0]];
+    config.heuristics =
+        ["IE", "Y-IE", "RANDOM"].iter().map(|n| HeuristicSpec::parse(n).unwrap()).collect();
+    config
+}
+
+#[test]
+fn every_new_preset_runs_with_a_tagged_resumable_store() {
+    for name in PRESET_NAMES.iter().filter(|&&n| n != "paper") {
+        let suite = SuiteSpec::preset(name).unwrap();
+        let config = trimmed(&suite);
+        let dir = temp_dir(name);
+        let options = ExecutorOptions::new().retain_raw(true).store(&dir, false);
+        let outcome = run_campaign_with(&config, &options, |_, _| {}).unwrap();
+        assert_eq!(outcome.stats.executed_instances, config.total_runs(), "{name}");
+        assert_eq!(outcome.results.results.len(), config.total_runs(), "{name}");
+
+        // Every shard record carries the suite tag.
+        for point in 0..config.points().len() {
+            let text = fs::read_to_string(dir.join(shard_name(point))).unwrap();
+            for line in text.lines() {
+                let record = decode_instance(line).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(record.suite.as_deref(), Some(*name), "untagged record in {name}");
+            }
+        }
+
+        // A full resume re-runs nothing and reproduces the results exactly.
+        let resume = ExecutorOptions::new().retain_raw(true).store(&dir, true);
+        let resumed = run_campaign_with(&config, &resume, |_, _| {}).unwrap();
+        assert_eq!(resumed.stats.executed_instances, 0, "{name}");
+        assert_eq!(resumed.results.results, outcome.results.results, "{name}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn engines_agree_on_every_preset() {
+    for name in PRESET_NAMES {
+        let suite = SuiteSpec::preset(name).unwrap();
+        let mut config = trimmed(&suite);
+        // One wmin point suffices for the cross-engine comparison.
+        config.wmin_values.truncate(1);
+        config.engine = SimMode::SlotStepped;
+        let slot = run_campaign_with(&config, &ExecutorOptions::new().retain_raw(true), |_, _| {})
+            .unwrap();
+        config.engine = SimMode::EventDriven;
+        let event = run_campaign_with(&config, &ExecutorOptions::new().retain_raw(true), |_, _| {})
+            .unwrap();
+        assert_eq!(
+            slot.results.results, event.results.results,
+            "engines diverged on the {name} suite"
+        );
+    }
+}
+
+#[test]
+fn semi_markov_trial_suites_run_and_resume() {
+    // A custom suite exercising the trace-backed trial model through the
+    // executor: volatile chains, semi-Markov trial realizations.
+    let text = "suite semivol\nworkers 10\niterations 3\nm 4\nncom 5\nwmin 1,2\n\
+                availability volatile\ntrials semi(0.7)\n";
+    let suite = SuiteSpec::parse(text).unwrap();
+    assert_eq!(suite.model.trials, TrialModel::SemiMarkov { shape: 0.7 });
+    let config = trimmed(&suite);
+    let dir = temp_dir("semivol");
+    let options = ExecutorOptions::new().retain_raw(true).store(&dir, false);
+    let outcome = run_campaign_with(&config, &options, |_, _| {}).unwrap();
+    assert_eq!(outcome.results.results.len(), config.total_runs());
+
+    // Truncated-shard recovery on a non-paper suite: cut the first shard
+    // mid-line, resume, and require byte-identical shards and results.
+    let shard_path = dir.join(shard_name(0));
+    let intact = fs::read(&shard_path).unwrap();
+    let text = String::from_utf8(intact.clone()).unwrap();
+    let first_line_len = text.lines().next().unwrap().len();
+    fs::write(&shard_path, &text[..first_line_len + 1 + 20]).unwrap();
+    let resume = ExecutorOptions::new().retain_raw(true).store(&dir, true);
+    let resumed = run_campaign_with(&config, &resume, |_, _| {}).unwrap();
+    assert!(resumed.stats.executed_instances > 0, "truncated instances must re-run");
+    assert!(resumed.stats.resumed_instances > 0, "intact instances must be reused");
+    assert_eq!(resumed.results.results, outcome.results.results);
+    assert_eq!(fs::read(&shard_path).unwrap(), intact, "recovered shard differs");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_to_mix_suites() {
+    // Manifest level: resuming a volatile store with a commbound campaign of
+    // the same scale fails the fingerprint check.
+    let volatile = trimmed(&SuiteSpec::volatile());
+    let dir = temp_dir("mix");
+    run_campaign_with(&volatile, &ExecutorOptions::new().store(&dir, false), |_, _| {}).unwrap();
+    let mut foreign = trimmed(&SuiteSpec::commbound());
+    foreign.m_values = volatile.m_values.clone();
+    foreign.ncom_values = volatile.ncom_values.clone();
+    foreign.wmin_values = volatile.wmin_values.clone();
+    let err = run_campaign_with(&foreign, &ExecutorOptions::new().store(&dir, true), |_, _| {})
+        .unwrap_err();
+    assert!(err.contains("different configuration"), "{err}");
+
+    // Record level: even with a doctored manifest, suite-tagged records from
+    // another suite never slot into this campaign — everything re-runs
+    // instead of silently reusing foreign results.
+    let mut paper = volatile.clone();
+    paper.suite = "paper".to_string();
+    paper.model = desktop_grid_scheduling::platform::ScenarioModel::paper();
+    fs::write(
+        dir.join("manifest.json"),
+        format!(
+            "{{\"version\":{},\"complete\":true,\"config\":{}}}\n",
+            desktop_grid_scheduling::experiments::store::STORE_VERSION,
+            config_fingerprint(&paper)
+        ),
+    )
+    .unwrap();
+    let store = CampaignStore::open(&dir, config_fingerprint(&paper), true).unwrap();
+    assert!(!store.load().unwrap().is_empty(), "volatile shards are present");
+    let resumed =
+        run_campaign_with(&paper, &ExecutorOptions::new().store(&dir, true), |_, _| {}).unwrap();
+    assert_eq!(resumed.stats.resumed_instances, 0, "foreign-suite records were reused");
+    assert_eq!(resumed.stats.executed_instances, paper.total_runs());
+    let _ = fs::remove_dir_all(&dir);
+}
