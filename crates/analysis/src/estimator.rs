@@ -1,10 +1,28 @@
-//! High-level, memoized estimator used by the scheduling heuristics.
+//! High-level, memoized evaluation of the Section V estimates.
 //!
 //! The incremental heuristics of Section VI evaluate the Section V estimates
 //! for many closely related worker sets (the current set `S` plus one
-//! candidate worker, for every candidate and every task). The [`Estimator`]
-//! front-end caches the per-set [`GroupQuantities`] so that repeated
-//! evaluations of the same set cost one hash lookup.
+//! candidate worker, for every candidate and every task) — and a campaign
+//! evaluates the *same* platform once per heuristic and once per trial. The
+//! layer is therefore split into:
+//!
+//! * [`PlatformTables`] — the immutable, scenario-scoped inputs of every
+//!   estimate: per-worker availability series, speeds, the master's `ncom`
+//!   bound and the series-truncation precision `ε`. Built once per scenario.
+//! * [`EvalCache`] — the memo tables (`group` quantities per member set,
+//!   `P_ND` per `(worker, horizon)`) behind cheap interior mutability. The
+//!   handle is `Arc`-clonable: one cache can serve all 17 heuristics and all
+//!   trials of a scenario concurrently, so each group set is computed once
+//!   per *scenario* instead of once per `(heuristic, trial)`. Hit/miss
+//!   counters quantify the reuse ([`EvalCache::stats`]).
+//! * [`Estimator`] — the thin front-end combining a cache handle with the
+//!   per-consumer `use_paper_formula` toggle. [`Estimator::new`] builds a
+//!   private cache (the historical behavior); [`Estimator::from_cache`]
+//!   attaches to a shared one.
+//!
+//! Every cached quantity is a pure function of `(platform, master, ε)`, so
+//! sharing a cache across heuristics, trials or threads cannot change any
+//! estimate — only how often it is recomputed.
 
 use crate::comm::CommEstimate;
 use crate::criteria::IterationEstimate;
@@ -12,46 +30,34 @@ use crate::group::{GroupComputation, GroupQuantities};
 use crate::series::WorkerSeries;
 use dg_platform::{MasterSpec, Platform};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
-/// Memoized computation of the Section V estimates for one platform.
-#[derive(Debug, Clone)]
-pub struct Estimator {
+/// Immutable, scenario-scoped inputs of the Section V estimates: worker
+/// availability series, speeds, the master's `ncom` bound and the
+/// series-truncation precision. Everything an [`EvalCache`] memoizes is a
+/// pure function of these tables.
+#[derive(Debug)]
+pub struct PlatformTables {
     series: Vec<WorkerSeries>,
     speeds: Vec<u64>,
     ncom: usize,
     computation: GroupComputation,
-    use_paper_formula: bool,
-    group_cache: HashMap<Vec<usize>, GroupQuantities>,
-    no_down_cache: HashMap<(usize, u64), f64>,
 }
 
-impl Estimator {
-    /// Build an estimator for `platform` and `master`, with series precision
+impl PlatformTables {
+    /// Build the tables for `platform` and `master`, with series precision
     /// `epsilon`.
     pub fn new(platform: &Platform, master: &MasterSpec, epsilon: f64) -> Self {
-        Estimator {
+        PlatformTables {
             series: platform.chains().iter().map(WorkerSeries::new).collect(),
             speeds: platform.workers().iter().map(|w| w.speed).collect(),
             ncom: master.ncom,
             computation: GroupComputation::new(epsilon),
-            use_paper_formula: false,
-            group_cache: HashMap::new(),
-            no_down_cache: HashMap::new(),
         }
     }
 
-    /// Build an estimator with the crate's default precision.
-    pub fn with_default_epsilon(platform: &Platform, master: &MasterSpec) -> Self {
-        Estimator::new(platform, master, crate::DEFAULT_EPSILON)
-    }
-
-    /// Use the conditional-completion-time formula exactly as printed in the
-    /// paper instead of the renewal form (see the `group` module docs).
-    pub fn set_use_paper_formula(&mut self, use_paper: bool) {
-        self.use_paper_formula = use_paper;
-    }
-
-    /// Number of workers known to the estimator.
+    /// Number of workers known to the tables.
     pub fn num_workers(&self) -> usize {
         self.series.len()
     }
@@ -71,19 +77,9 @@ impl Estimator {
         &self.series[q]
     }
 
-    /// Group quantities (`Eu`, `A`, `P₊`, `E_c`) for the set of workers
-    /// `members`, memoized on the (sorted, deduplicated) member list.
-    pub fn group(&mut self, members: &[usize]) -> GroupQuantities {
-        let mut key: Vec<usize> = members.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(g) = self.group_cache.get(&key) {
-            return *g;
-        }
-        let refs: Vec<&WorkerSeries> = key.iter().map(|&q| &self.series[q]).collect();
-        let g = self.computation.compute(&refs);
-        self.group_cache.insert(key, g);
-        g
+    /// The series-truncation precision `ε` the tables were built with.
+    pub fn epsilon(&self) -> f64 {
+        self.computation.epsilon()
     }
 
     /// Lock-step computation workload, in slots of simultaneous `UP` time, of
@@ -97,9 +93,229 @@ impl Estimator {
             .unwrap_or(0)
     }
 
+    /// Compute the group quantities of the (sorted, deduplicated) member set
+    /// `key` from scratch, bypassing any cache.
+    fn compute_group(&self, key: &[usize]) -> GroupQuantities {
+        let refs: Vec<&WorkerSeries> = key.iter().map(|&q| &self.series[q]).collect();
+        self.computation.compute(&refs)
+    }
+}
+
+/// Hit/miss counters of one [`EvalCache`] (group-quantity lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCacheStats {
+    /// Group lookups served from the memo table.
+    pub group_hits: u64,
+    /// Group lookups that computed the truncated series (one per distinct
+    /// member set under single-threaded use).
+    pub group_misses: u64,
+}
+
+impl EvalCacheStats {
+    /// Fraction of group lookups served from the cache, in `[0, 1]`
+    /// (`0` when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.group_hits + self.group_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.group_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shared memo tables behind the Section V estimates.
+#[derive(Debug, Default)]
+struct CacheState {
+    group: RwLock<HashMap<Vec<usize>, GroupQuantities>>,
+    no_down: RwLock<HashMap<(usize, u64), f64>>,
+    group_hits: AtomicU64,
+    group_misses: AtomicU64,
+}
+
+/// A shareable evaluation cache over one scenario's [`PlatformTables`].
+///
+/// Cloning is cheap (two `Arc` bumps) and every clone reads and writes the
+/// *same* memo tables, so one cache created next to a scenario serves every
+/// heuristic and every trial evaluated on that scenario. All methods take
+/// `&self`; concurrent lookups are safe (reads share an `RwLock`, a miss
+/// computes outside the lock and inserts). Racing misses of the same set
+/// insert identical values, so results never depend on sharing or timing.
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    tables: Arc<PlatformTables>,
+    state: Arc<CacheState>,
+}
+
+impl EvalCache {
+    /// Build a fresh cache (and its tables) for `platform` and `master`, with
+    /// series precision `epsilon`.
+    pub fn new(platform: &Platform, master: &MasterSpec, epsilon: f64) -> Self {
+        EvalCache::from_tables(Arc::new(PlatformTables::new(platform, master, epsilon)))
+    }
+
+    /// Build a fresh cache with the crate's default precision.
+    pub fn with_default_epsilon(platform: &Platform, master: &MasterSpec) -> Self {
+        EvalCache::new(platform, master, crate::DEFAULT_EPSILON)
+    }
+
+    /// Build an empty cache over existing tables.
+    pub fn from_tables(tables: Arc<PlatformTables>) -> Self {
+        EvalCache { tables, state: Arc::new(CacheState::default()) }
+    }
+
+    /// The immutable platform tables the cached quantities derive from.
+    pub fn tables(&self) -> &PlatformTables {
+        &self.tables
+    }
+
+    /// `true` if `self` and `other` are handles to the same memo tables.
+    pub fn shares_state_with(&self, other: &EvalCache) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+
+    /// Group quantities (`Eu`, `A`, `P₊`, `E_c`) for the set of workers
+    /// `members`, memoized on the (sorted, deduplicated) member list.
+    ///
+    /// Already-sorted, duplicate-free member slices — what the heuristics'
+    /// candidate construction produces — are looked up without allocating;
+    /// arbitrary slices are normalized first.
+    pub fn group(&self, members: &[usize]) -> GroupQuantities {
+        if is_sorted_unique(members) {
+            return self.group_sorted(members);
+        }
+        let mut key: Vec<usize> = members.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.group_sorted(&key)
+    }
+
+    /// Lookup/compute for a key known to be sorted and duplicate-free.
+    fn group_sorted(&self, key: &[usize]) -> GroupQuantities {
+        if let Some(&g) = self.state.group.read().expect("eval cache poisoned").get(key) {
+            self.state.group_hits.fetch_add(1, Ordering::Relaxed);
+            return g;
+        }
+        self.state.group_misses.fetch_add(1, Ordering::Relaxed);
+        let g = self.tables.compute_group(key);
+        self.state.group.write().expect("eval cache poisoned").insert(key.to_vec(), g);
+        g
+    }
+
+    /// Memoized `P^(q)_{ND}(t)`: probability that worker `q` does not go
+    /// `DOWN` within `t` slots, starting `UP`.
+    pub fn no_down_within(&self, q: usize, t: u64) -> f64 {
+        if let Some(&p) = self.state.no_down.read().expect("eval cache poisoned").get(&(q, t)) {
+            return p;
+        }
+        let p = self.tables.series[q].no_down_within(t);
+        self.state.no_down.write().expect("eval cache poisoned").insert((q, t), p);
+        p
+    }
+
+    /// Number of distinct worker sets currently memoized.
+    pub fn cached_sets(&self) -> usize {
+        self.state.group.read().expect("eval cache poisoned").len()
+    }
+
+    /// Group-lookup hit/miss counters since creation (or the last
+    /// [`EvalCache::clear`]).
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            group_hits: self.state.group_hits.load(Ordering::Relaxed),
+            group_misses: self.state.group_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all memoized quantities and reset the counters.
+    pub fn clear(&self) {
+        self.state.group.write().expect("eval cache poisoned").clear();
+        self.state.no_down.write().expect("eval cache poisoned").clear();
+        self.state.group_hits.store(0, Ordering::Relaxed);
+        self.state.group_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// `true` if the slice is strictly increasing (sorted, no duplicates).
+fn is_sorted_unique(members: &[usize]) -> bool {
+    members.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Memoized computation of the Section V estimates for one platform.
+///
+/// A thin front-end over an [`EvalCache`] handle plus the per-consumer
+/// `use_paper_formula` toggle. [`Estimator::new`] owns a private cache — the
+/// historical single-consumer behavior — while [`Estimator::from_cache`]
+/// evaluates through a shared one.
+#[derive(Debug)]
+pub struct Estimator {
+    cache: EvalCache,
+    use_paper_formula: bool,
+}
+
+impl Estimator {
+    /// Build an estimator with a private cache for `platform` and `master`,
+    /// with series precision `epsilon`.
+    pub fn new(platform: &Platform, master: &MasterSpec, epsilon: f64) -> Self {
+        Estimator::from_cache(EvalCache::new(platform, master, epsilon))
+    }
+
+    /// Build an estimator with the crate's default precision.
+    pub fn with_default_epsilon(platform: &Platform, master: &MasterSpec) -> Self {
+        Estimator::new(platform, master, crate::DEFAULT_EPSILON)
+    }
+
+    /// Build an estimator evaluating through the (possibly shared) `cache`.
+    pub fn from_cache(cache: EvalCache) -> Self {
+        Estimator { cache, use_paper_formula: false }
+    }
+
+    /// The cache handle this estimator evaluates through.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Use the conditional-completion-time formula exactly as printed in the
+    /// paper instead of the renewal form (see the `group` module docs).
+    pub fn set_use_paper_formula(&mut self, use_paper: bool) {
+        self.use_paper_formula = use_paper;
+    }
+
+    /// Number of workers known to the estimator.
+    pub fn num_workers(&self) -> usize {
+        self.cache.tables().num_workers()
+    }
+
+    /// Speed `w_q` of worker `q`.
+    pub fn speed(&self, q: usize) -> u64 {
+        self.cache.tables().speed(q)
+    }
+
+    /// The master's `ncom` bound used for communication estimates.
+    pub fn ncom(&self) -> usize {
+        self.cache.tables().ncom()
+    }
+
+    /// The availability series of worker `q`.
+    pub fn worker_series(&self, q: usize) -> &WorkerSeries {
+        self.cache.tables().worker_series(q)
+    }
+
+    /// Group quantities (`Eu`, `A`, `P₊`, `E_c`) for the set of workers
+    /// `members`, memoized on the (sorted, deduplicated) member list.
+    pub fn group(&self, members: &[usize]) -> GroupQuantities {
+        self.cache.group(members)
+    }
+
+    /// Lock-step computation workload, in slots of simultaneous `UP` time, of
+    /// an assignment: `max_q x_q · w_q` (Section III-C).
+    pub fn computation_workload(&self, members: &[usize], tasks: &[usize]) -> u64 {
+        self.cache.tables().computation_workload(members, tasks)
+    }
+
     /// Expected duration (conditioned on success) of a computation of `w`
     /// slots by the set `members`.
-    pub fn expected_computation_time(&mut self, members: &[usize], w: u64) -> f64 {
+    pub fn expected_computation_time(&self, members: &[usize], w: u64) -> f64 {
         let g = self.group(members);
         if self.use_paper_formula {
             g.expected_completion_time_paper(w)
@@ -110,25 +326,20 @@ impl Estimator {
 
     /// Probability that the set `members` completes `w` slots of simultaneous
     /// computation without any failure.
-    pub fn computation_success_probability(&mut self, members: &[usize], w: u64) -> f64 {
+    pub fn computation_success_probability(&self, members: &[usize], w: u64) -> f64 {
         self.group(members).prob_success(w)
     }
 
     /// Memoized `P^(q)_{ND}(t)`: probability that worker `q` does not go
     /// `DOWN` within `t` slots, starting `UP`.
-    pub fn no_down_within(&mut self, q: usize, t: u64) -> f64 {
-        if let Some(&p) = self.no_down_cache.get(&(q, t)) {
-            return p;
-        }
-        let p = self.series[q].no_down_within(t);
-        self.no_down_cache.insert((q, t), p);
-        p
+    pub fn no_down_within(&self, q: usize, t: u64) -> f64 {
+        self.cache.no_down_within(q, t)
     }
 
     /// Communication-phase estimate for enrolled workers `members`, where
     /// `comm_slots[i]` is the number of communication slots worker
     /// `members[i]` still needs (program + missing data messages).
-    pub fn comm_estimate(&mut self, members: &[usize], comm_slots: &[u64]) -> CommEstimate {
+    pub fn comm_estimate(&self, members: &[usize], comm_slots: &[u64]) -> CommEstimate {
         assert_eq!(members.len(), comm_slots.len(), "one comm volume per member");
         if members.is_empty() || comm_slots.iter().all(|&n| n == 0) {
             return CommEstimate::nothing_to_send();
@@ -151,10 +362,11 @@ impl Estimator {
         }
 
         let total: u64 = comm_slots.iter().sum();
-        let expected_duration = if members.len() <= self.ncom {
+        let ncom = self.ncom();
+        let expected_duration = if members.len() <= ncom {
             max_single
         } else {
-            max_single.max(total as f64 / self.ncom as f64)
+            max_single.max(total as f64 / ncom as f64)
         };
 
         let horizon = expected_duration.ceil() as u64;
@@ -173,7 +385,7 @@ impl Estimator {
     /// * `tasks[i]` — number of tasks assigned to that worker,
     /// * `comm_slots[i]` — communication slots that worker still needs.
     pub fn iteration_estimate(
-        &mut self,
+        &self,
         members: &[usize],
         tasks: &[usize],
         comm_slots: &[u64],
@@ -189,13 +401,12 @@ impl Estimator {
     /// Number of distinct worker sets currently memoized (exposed for the
     /// heuristic-cost ablation bench).
     pub fn cached_sets(&self) -> usize {
-        self.group_cache.len()
+        self.cache.cached_sets()
     }
 
     /// Drop all memoized group quantities.
-    pub fn clear_cache(&mut self) {
-        self.group_cache.clear();
-        self.no_down_cache.clear();
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 }
 
@@ -212,7 +423,7 @@ mod tests {
     #[test]
     fn caching_returns_identical_values() {
         let s = paper_scenario();
-        let mut est = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let est = Estimator::with_default_epsilon(&s.platform, &s.master);
         let a = est.group(&[0, 3, 7]);
         let b = est.group(&[7, 0, 3]); // order must not matter
         let c = est.group(&[0, 3, 7, 3]); // duplicates must not matter
@@ -221,6 +432,65 @@ mod tests {
         assert_eq!(est.cached_sets(), 1);
         est.clear_cache();
         assert_eq!(est.cached_sets(), 0);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let s = paper_scenario();
+        let cache = EvalCache::with_default_epsilon(&s.platform, &s.master);
+        assert_eq!(cache.stats(), EvalCacheStats::default());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.group(&[0, 1]); // miss
+        cache.group(&[0, 1]); // hit (sorted fast path)
+        cache.group(&[1, 0]); // hit (normalized)
+        cache.group(&[2]); // miss
+        let stats = cache.stats();
+        assert_eq!(stats.group_misses, 2);
+        assert_eq!(stats.group_hits, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.cached_sets(), 2);
+        cache.clear();
+        assert_eq!(cache.stats(), EvalCacheStats::default());
+        assert_eq!(cache.cached_sets(), 0);
+    }
+
+    #[test]
+    fn shared_cache_serves_several_estimators() {
+        // The tentpole property: two estimators over one cache handle memoize
+        // into the same tables, so the second consumer's probes are all hits
+        // — and every value is identical to a private-cache estimator's.
+        let s = paper_scenario();
+        let cache = EvalCache::with_default_epsilon(&s.platform, &s.master);
+        let first = Estimator::from_cache(cache.clone());
+        let second = Estimator::from_cache(cache.clone());
+        assert!(first.cache().shares_state_with(second.cache()));
+
+        let private = Estimator::with_default_epsilon(&s.platform, &s.master);
+        assert!(!first.cache().shares_state_with(private.cache()));
+
+        let members = [0usize, 2, 4];
+        let a = first.iteration_estimate(&members, &[1, 1, 1], &[2, 2, 2]);
+        let misses_after_first = cache.stats().group_misses;
+        let b = second.iteration_estimate(&members, &[1, 1, 1], &[2, 2, 2]);
+        assert_eq!(a, b);
+        // The second pass computed nothing new.
+        assert_eq!(cache.stats().group_misses, misses_after_first);
+        assert!(cache.stats().group_hits > 0);
+
+        let c = private.iteration_estimate(&members, &[1, 1, 1], &[2, 2, 2]);
+        assert_eq!(a, c, "shared and private caches must agree exactly");
+    }
+
+    #[test]
+    fn platform_tables_expose_platform_constants() {
+        let s = paper_scenario();
+        let tables = PlatformTables::new(&s.platform, &s.master, 1e-6);
+        assert_eq!(tables.num_workers(), s.platform.num_workers());
+        assert_eq!(tables.ncom(), s.master.ncom);
+        assert_eq!(tables.epsilon(), 1e-6);
+        for q in 0..tables.num_workers() {
+            assert_eq!(tables.speed(q), s.platform.worker(q).speed);
+        }
     }
 
     #[test]
@@ -243,7 +513,7 @@ mod tests {
         let master = dg_platform::MasterSpec::from_slots(3, 2, 1);
         let app = ApplicationSpec::new(3, 1);
         let _ = app;
-        let mut est = Estimator::with_default_epsilon(&platform, &master);
+        let est = Estimator::with_default_epsilon(&platform, &master);
         // Each worker: program (2) + 1 data (1) = 3 comm slots; all fit under ncom.
         let it = est.iteration_estimate(&[0, 1, 2], &[1, 1, 1], &[3, 3, 3]);
         assert!((it.success_probability - 1.0).abs() < 1e-9);
@@ -254,7 +524,7 @@ mod tests {
     #[test]
     fn riskier_worker_lowers_probability_and_raises_time() {
         let s = paper_scenario();
-        let mut est = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let est = Estimator::with_default_epsilon(&s.platform, &s.master);
         let small = est.iteration_estimate(&[0, 1], &[1, 1], &[2, 2]);
         let bigger = est.iteration_estimate(&[0, 1, 2, 3, 4, 5], &[1, 1, 1, 1, 1, 1], &[2; 6]);
         assert!(bigger.success_probability <= small.success_probability + 1e-12);
@@ -264,7 +534,7 @@ mod tests {
     fn comm_estimate_over_ncom_uses_aggregate_bound() {
         let platform = dg_platform::Platform::reliable_homogeneous(6, 1);
         let master = dg_platform::MasterSpec::from_slots(2, 4, 1);
-        let mut est = Estimator::with_default_epsilon(&platform, &master);
+        let est = Estimator::with_default_epsilon(&platform, &master);
         let members: Vec<usize> = (0..6).collect();
         let comm = est.comm_estimate(&members, &[5; 6]);
         // total 30 slots over ncom=2 -> at least 15.
@@ -298,12 +568,43 @@ mod tests {
         let mut rng = rng_from_seed(9);
         let platform = dg_platform::Platform::sample_paper_model(10, 1, &mut rng);
         let master = dg_platform::MasterSpec::from_slots(5, 5, 1);
-        let mut est = Estimator::with_default_epsilon(&platform, &master);
+        let est = Estimator::with_default_epsilon(&platform, &master);
         for k in 1..=10usize {
             let members: Vec<usize> = (0..k).collect();
             let g = est.group(&members);
             assert!(g.p_plus > 0.0 && g.p_plus <= 1.0);
             assert!(g.e_c.is_finite());
         }
+        // One miss per subset size, no sharing between sizes.
+        assert_eq!(est.cache().stats().group_misses, 10);
+    }
+
+    #[test]
+    fn concurrent_probes_agree_with_sequential_values() {
+        // Hammer one cache from several threads and check every observed
+        // value equals the sequentially computed reference — the concurrency
+        // contract the executor's per-scenario sharing relies on.
+        let s = paper_scenario();
+        let cache = EvalCache::with_default_epsilon(&s.platform, &s.master);
+        let reference = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let sets: Vec<Vec<usize>> = (1..=6)
+            .map(|k| (0..k).collect())
+            .chain((1..=6).map(|k| (k..k + 4).collect()))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = cache.clone();
+                let sets = &sets;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        for set in sets {
+                            assert_eq!(cache.group(set), reference.group(set));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.cached_sets(), sets.len());
     }
 }

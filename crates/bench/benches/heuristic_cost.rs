@@ -1,14 +1,25 @@
-//! Ablation bench for the per-decision cost of the Section VI heuristics:
-//! how long one `Scheduler::decide` call takes at the paper's platform size
-//! (p = 20) for m = 5 and m = 10 tasks, for a passive heuristic, a proactive
-//! heuristic and the RANDOM baseline.
+//! Ablation bench for the evaluation layer of the Section VI heuristics:
+//!
+//! 1. **Per-decision cost** — how long one `Scheduler::decide` call takes at
+//!    the paper's platform size (p = 20) for m = 5 and m = 10 tasks, for a
+//!    passive heuristic, a proactive heuristic and the RANDOM baseline.
+//! 2. **Eval-cache reuse** — the shared-[`EvalCache`] campaign path versus
+//!    per-instance private estimators. Mirroring `campaign_throughput`'s
+//!    availability-realization assertions, the bench counts how many Section V
+//!    group sets each policy computes and asserts the shared cache computes
+//!    each set **once per scenario** instead of once per
+//!    `(heuristic, trial)`, printing the measured ratio.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dg_availability::ProcState;
+use dg_analysis::EvalCache;
+use dg_availability::{ProcState, RealizedTrial};
 use dg_bench::bench_scenario;
+use dg_experiments::runner::{run_instance_on, trial_seed, InstanceSpec};
 use dg_heuristics::HeuristicSpec;
+use dg_platform::Scenario;
 use dg_sim::view::{SimView, WorkerView};
 use dg_sim::worker_state::WorkerDynamicState;
+use dg_sim::SimMode;
 use std::time::Duration;
 
 fn decision_cost(c: &mut Criterion) {
@@ -44,5 +55,103 @@ fn decision_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, decision_cost);
+/// The eval-cache reuse slice: one scenario, several heuristics × trials.
+const CACHE_HEURISTICS: [&str; 8] = ["IE", "IAY", "IY", "IP", "Y-IE", "P-IE", "E-IAY", "RANDOM"];
+const CACHE_TRIALS: usize = 2;
+const CACHE_CAP: u64 = 30_000;
+const BASE_SEED: u64 = 42;
+
+/// Run the whole heuristic × trial fan-out of `scenario` through one shared
+/// cache (the executor's policy) and return the group sets it computed.
+fn shared_cache_campaign(scenario: &Scenario) -> u64 {
+    let cache = EvalCache::new(&scenario.platform, &scenario.master, 1e-7);
+    run_all_instances(scenario, |_, _| cache.clone());
+    let stats = cache.stats();
+    assert_eq!(
+        stats.group_misses as usize,
+        cache.cached_sets(),
+        "a shared cache must compute each (scenario, member set) exactly once"
+    );
+    stats.group_misses
+}
+
+/// The pre-refactor policy: every `(heuristic, trial)` instance evaluates
+/// through its own private estimator. Returns the summed group computations.
+fn per_instance_campaign(scenario: &Scenario) -> u64 {
+    // Keep a handle to every private cache (clones share state) so the
+    // misses can be summed after the runs.
+    let mut handles = Vec::new();
+    run_all_instances(scenario, |scenario, _| {
+        let cache = EvalCache::new(&scenario.platform, &scenario.master, 1e-7);
+        handles.push(cache.clone());
+        cache
+    });
+    handles.iter().map(|cache| cache.stats().group_misses).sum()
+}
+
+/// Drive every `(trial, heuristic)` instance of the reuse slice, obtaining
+/// the instance's cache from `cache_for` (shared handle or fresh private).
+fn run_all_instances(
+    scenario: &Scenario,
+    mut cache_for: impl FnMut(&Scenario, usize) -> EvalCache,
+) {
+    for trial_index in 0..CACHE_TRIALS {
+        let seed = trial_seed(BASE_SEED, scenario.seed, trial_index);
+        let trial = RealizedTrial::new(scenario.realize_trial(seed, CACHE_CAP));
+        for name in CACHE_HEURISTICS {
+            let spec = InstanceSpec {
+                scenario_index: 0,
+                trial_index,
+                heuristic: HeuristicSpec::parse(name).expect("heuristic name"),
+            };
+            let cache = cache_for(scenario, trial_index);
+            let (outcome, _) = run_instance_on(
+                scenario,
+                &spec,
+                trial.replay(),
+                &cache,
+                BASE_SEED,
+                CACHE_CAP,
+                SimMode::EventDriven,
+            );
+            criterion::black_box(outcome);
+        }
+    }
+}
+
+fn eval_cache_reuse(c: &mut Criterion) {
+    let scenario = bench_scenario(5, 10, 2, 3, 7);
+
+    // Group-computation accounting, printed once: the shared cache computes
+    // per (scenario, member set); private estimators per
+    // (heuristic, trial, member set).
+    let shared_computed = shared_cache_campaign(&scenario);
+    let per_instance_computed = per_instance_campaign(&scenario);
+    println!(
+        "group sets computed per campaign: shared eval cache = {}, per-instance estimators = {} \
+         ({:.1}x fewer)",
+        shared_computed,
+        per_instance_computed,
+        per_instance_computed as f64 / shared_computed.max(1) as f64,
+    );
+    assert!(
+        per_instance_computed > shared_computed,
+        "per-instance estimators must recompute group sets the shared cache reuses \
+         ({per_instance_computed} vs {shared_computed})"
+    );
+
+    let mut group = c.benchmark_group("eval_cache");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("shared_eval_cache", |b| {
+        b.iter(|| shared_cache_campaign(&scenario));
+    });
+    group.bench_function("per_instance_estimators", |b| {
+        b.iter(|| per_instance_campaign(&scenario));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, decision_cost, eval_cache_reuse);
 criterion_main!(benches);

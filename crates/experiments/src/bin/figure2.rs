@@ -5,7 +5,10 @@
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin figure2 -- [--scenarios N] [--trials N] [--full] \
-//!     [--suite NAME|FILE] [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--heuristics NAME[,NAME...]] [--out DIR] [--resume]
+//!
+//! `--heuristics` replaces the paper's eight plotted heuristics with an
+//! explicit list.
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
@@ -24,10 +27,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let heuristics: Vec<HeuristicSpec> = FIGURE2_HEURISTICS
-        .iter()
-        .map(|n| HeuristicSpec::parse(n).expect("figure heuristic name"))
-        .collect();
+    if let Err(msg) = opts.require_reference("IE") {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    // --heuristics overrides the paper's eight plotted heuristics.
+    let heuristics: Vec<HeuristicSpec> = opts.heuristics_or(&FIGURE2_HEURISTICS);
     let config = match opts.campaign() {
         Ok(config) => config,
         Err(msg) => {
@@ -65,8 +70,9 @@ fn main() {
             outcome.stats.executed_instances,
         );
     }
+    eprintln!("  {}", outcome.stats.eval_cache_summary());
     let results = outcome.results;
-    let names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
+    let names: Vec<String> = results.heuristic_names();
     let figure = Figure::compute(&results, m, "IE", &names);
     println!("{}", figure.render());
     println!("CSV:\n{}", figure.to_csv());

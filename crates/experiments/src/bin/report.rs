@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin report -- [--scenarios N] [--trials N] [--full] \
-//!     [--out DIR] [--resume]
+//!     [--heuristics NAME[,NAME...]] [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
@@ -22,6 +22,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Err(msg) = opts.require_reference("IE") {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let mut config = match opts.campaign() {
         Ok(config) => config,
         Err(msg) => {
@@ -66,6 +70,7 @@ fn main() {
             String::new()
         },
     );
+    eprintln!("  {}", outcome.stats.eval_cache_summary());
     let results = outcome.results;
 
     let names = results.heuristic_names();
@@ -85,7 +90,10 @@ fn main() {
     );
     println!("{}", render_table(&format!("All heuristics, m = {m_large}:"), &table2));
 
-    let figure_names: Vec<String> = FIGURE2_HEURISTICS.iter().map(|s| s.to_string()).collect();
+    // The figure plots the paper's eight series; under --heuristics it plots
+    // the requested list instead (absent heuristics would render no series).
+    let figure_names: Vec<String> =
+        opts.heuristics_or(&FIGURE2_HEURISTICS).iter().map(|h| h.name()).collect();
     let figure = Figure::compute(&results, m_large, "IE", &figure_names);
     println!("{}", figure.render());
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin sensitivity -- [--scenarios N] [--trials N] \
-//!     [--suite NAME|FILE] [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--heuristics NAME[,NAME...]] [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::CliOptions;
@@ -28,8 +28,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let heuristic_names =
-        ["IE", "IAY", "IY", "IP", "Y-IE", "P-IE", "E-IAY", "RANDOM"].map(str::to_string);
+    if let Err(msg) = opts.require_reference("IE") {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    // --heuristics overrides the experiment's default eight-heuristic slice.
+    let heuristic_specs: Vec<HeuristicSpec> =
+        opts.heuristics_or(&["IE", "IAY", "IY", "IP", "Y-IE", "P-IE", "E-IAY", "RANDOM"]);
+    let heuristic_names: Vec<String> = heuristic_specs.iter().map(|h| h.name()).collect();
     // One point per wmin at the suite's first m and middle ncom (the paper
     // suite gives the historical m = 5, ncom = 10 slice); --ncom and --wmin
     // override the suite's sweeps as everywhere else.
@@ -57,10 +63,7 @@ fn main() {
         scenarios_per_point: opts.scenarios,
         trials_per_scenario: opts.trials,
         max_slots: opts.max_slots,
-        heuristics: heuristic_names
-            .iter()
-            .map(|n| HeuristicSpec::parse(n).expect("heuristic name"))
-            .collect(),
+        heuristics: heuristic_specs,
         base_seed: opts.seed,
         epsilon: dg_analysis::DEFAULT_EPSILON,
         weibull_shape,

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin table2 -- [--scenarios N] [--trials N] [--full] \
-//!     [--suite NAME|FILE] [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--heuristics NAME[,NAME...]] [--out DIR] [--resume]
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
@@ -20,6 +20,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Err(msg) = opts.require_reference("IE") {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let config = match opts.campaign() {
         Ok(config) => config,
         Err(msg) => {
@@ -57,6 +61,7 @@ fn main() {
             outcome.stats.executed_instances,
         );
     }
+    eprintln!("  {}", outcome.stats.eval_cache_summary());
     let results = outcome.results;
     let subset: Vec<_> = results.results.iter().collect();
     let comparison = table_comparison(&subset, "IE", &results.heuristic_names());

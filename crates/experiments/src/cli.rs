@@ -11,6 +11,8 @@
 //!                  suite file path                           [default paper]
 //! --ncom LIST      comma-separated ncom values               [default: suite's]
 //! --wmin LIST      comma-separated wmin values               [default: suite's]
+//! --heuristics L   comma-separated heuristic names to run
+//!                  (paper names, e.g. IE,IAY,Y-IE)           [default: the binary's list]
 //! --threads N      worker threads, 0 = auto-detect           [default 1]
 //! --seed N         master seed                               [default 20130520]
 //! --engine MODE    simulation engine: event | slot           [default event]
@@ -24,6 +26,7 @@
 use crate::campaign::CampaignConfig;
 use crate::executor::ExecutorOptions;
 use crate::suite::SuiteSpec;
+use dg_heuristics::{all_heuristic_names, HeuristicSpec};
 use dg_sim::SimMode;
 use std::path::PathBuf;
 
@@ -42,6 +45,10 @@ pub struct CliOptions {
     pub ncom_values: Option<Vec<usize>>,
     /// `wmin` values to sweep; `None` = the suite's values.
     pub wmin_values: Option<Vec<u64>>,
+    /// Heuristics to run (`--heuristics NAME[,NAME…]`, validated against the
+    /// registry); `None` = the binary's default list (all 17 for the table
+    /// binaries).
+    pub heuristics: Option<Vec<HeuristicSpec>>,
     /// Worker threads (`--threads 0` = auto-detect available parallelism).
     pub threads: usize,
     /// Master seed.
@@ -65,6 +72,7 @@ impl Default for CliOptions {
             suite: None,
             ncom_values: None,
             wmin_values: None,
+            heuristics: None,
             threads: 1,
             seed: 20130520,
             engine: SimMode::default(),
@@ -101,6 +109,7 @@ impl CliOptions {
                 "--ncom" => opts.ncom_values = Some(parse_list(&take(arg)?, arg)?),
                 "--engine" => opts.engine = take(arg)?.parse()?,
                 "--wmin" => opts.wmin_values = Some(parse_list(&take(arg)?, arg)?),
+                "--heuristics" => opts.heuristics = Some(parse_heuristics(&take(arg)?)?),
                 "--out" => opts.out = Some(PathBuf::from(take(arg)?)),
                 "--resume" => opts.resume = true,
                 "--full" => {
@@ -142,8 +151,9 @@ impl CliOptions {
 
     /// Build a campaign configuration from these options: the suite supplies
     /// the axes and generator model, explicit `--ncom`/`--wmin` flags
-    /// override the suite's sweeps, and the scale/seed/engine flags apply on
-    /// top. Fails only on an unresolvable `--suite`.
+    /// override the suite's sweeps, `--heuristics` restricts the heuristic
+    /// list, and the scale/seed/engine flags apply on top. Fails only on an
+    /// unresolvable `--suite`.
     pub fn campaign(&self) -> Result<CampaignConfig, String> {
         let mut config = self.suite()?.campaign(self.scenarios, self.trials, self.max_slots);
         if let Some(ncom) = &self.ncom_values {
@@ -152,10 +162,40 @@ impl CliOptions {
         if let Some(wmin) = &self.wmin_values {
             config.wmin_values = wmin.clone();
         }
+        if let Some(heuristics) = &self.heuristics {
+            config.heuristics = heuristics.clone();
+        }
         config.base_seed = self.seed;
         config.threads = self.threads;
         config.engine = self.engine;
         Ok(config)
+    }
+
+    /// Resolve a binary's heuristic list: the `--heuristics` override when
+    /// given, otherwise `defaults` (paper names, e.g. a figure's plotted
+    /// subset).
+    pub fn heuristics_or(&self, defaults: &[&str]) -> Vec<HeuristicSpec> {
+        match &self.heuristics {
+            Some(specs) => specs.clone(),
+            None => defaults
+                .iter()
+                .map(|n| HeuristicSpec::parse(n).expect("default heuristic name"))
+                .collect(),
+        }
+    }
+
+    /// Fail when a `--heuristics` override omits `reference` — every `%diff`,
+    /// `%wins` and figure series the binaries print is computed against the
+    /// reference heuristic's runs, so a campaign without them would render a
+    /// plausible-looking but meaningless table of zeros.
+    pub fn require_reference(&self, reference: &str) -> Result<(), String> {
+        match &self.heuristics {
+            Some(specs) if !specs.iter().any(|h| h.name() == reference) => Err(format!(
+                "--heuristics must include the reference heuristic {reference} \
+                 (all %diff/%wins output is computed against it)"
+            )),
+            _ => Ok(()),
+        }
     }
 
     /// Build the executor options (raw retention on — the binaries' table and
@@ -177,11 +217,35 @@ fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, S
     value.split(',').filter(|s| !s.is_empty()).map(|s| parse_num(s.trim(), flag)).collect()
 }
 
+/// Parse a `--heuristics` list, validating every name against the registry.
+/// Unknown names fail with the full list of valid paper names; duplicates are
+/// rejected (they would run the same instances twice and corrupt the
+/// canonical result layout).
+fn parse_heuristics(value: &str) -> Result<Vec<HeuristicSpec>, String> {
+    let mut specs: Vec<HeuristicSpec> = Vec::new();
+    for name in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let spec = HeuristicSpec::parse(name).map_err(|_| {
+            format!(
+                "unknown heuristic '{name}' for --heuristics; valid names: {}",
+                all_heuristic_names().join(", ")
+            )
+        })?;
+        if specs.contains(&spec) {
+            return Err(format!("duplicate heuristic '{}' in --heuristics", spec.name()));
+        }
+        specs.push(spec);
+    }
+    if specs.is_empty() {
+        return Err("--heuristics needs at least one name".to_string());
+    }
+    Ok(specs)
+}
+
 fn help_text() -> String {
     "usage: <binary> [--scenarios N] [--trials N] [--cap N] \
      [--suite paper|volatile|largegrid|commbound|FILE] [--ncom a,b,c] \
-     [--wmin a,b,c] [--threads N (0 = auto)] [--seed N] [--engine slot|event] \
-     [--out DIR] [--resume] [--full] [--quiet]"
+     [--wmin a,b,c] [--heuristics NAME[,NAME...]] [--threads N (0 = auto)] \
+     [--seed N] [--engine slot|event] [--out DIR] [--resume] [--full] [--quiet]"
         .to_string()
 }
 
@@ -306,6 +370,54 @@ mod tests {
         assert_eq!(config, legacy);
         assert_eq!(config.suite_tag(), None);
         assert!(config.model.is_paper());
+    }
+
+    #[test]
+    fn heuristics_flag_filters_the_campaign() {
+        let opts = CliOptions::parse(["--heuristics", "IE,IAY,Y-IE"]).unwrap();
+        let specs = opts.heuristics.clone().unwrap();
+        assert_eq!(specs.iter().map(|h| h.name()).collect::<Vec<_>>(), vec!["IE", "IAY", "Y-IE"]);
+        let config = opts.campaign().unwrap();
+        assert_eq!(config.heuristics, specs);
+        // Case-insensitive, whitespace-tolerant.
+        let relaxed = CliOptions::parse(["--heuristics", " y-ie , random "]).unwrap();
+        let names: Vec<String> = relaxed.heuristics.unwrap().iter().map(|h| h.name()).collect();
+        assert_eq!(names, vec!["Y-IE", "RANDOM"]);
+        // Without the flag, the campaign keeps all 17.
+        let all = CliOptions::parse(Vec::<&str>::new()).unwrap().campaign().unwrap();
+        assert_eq!(all.heuristics.len(), 17);
+    }
+
+    #[test]
+    fn heuristics_helpers_resolve_defaults_and_guard_the_reference() {
+        let defaults = ["E-IAY", "IE", "Y-IE"];
+        // No flag: the binary's defaults, and any reference is fine.
+        let plain = CliOptions::parse(Vec::<&str>::new()).unwrap();
+        let names: Vec<String> = plain.heuristics_or(&defaults).iter().map(|h| h.name()).collect();
+        assert_eq!(names, vec!["E-IAY", "IE", "Y-IE"]);
+        assert!(plain.require_reference("IE").is_ok());
+        // Flag present: it wins, but must contain the reference.
+        let with_ref = CliOptions::parse(["--heuristics", "Y-IE,IE"]).unwrap();
+        assert_eq!(with_ref.heuristics_or(&defaults).len(), 2);
+        assert!(with_ref.require_reference("IE").is_ok());
+        let without_ref = CliOptions::parse(["--heuristics", "Y-IE,RANDOM"]).unwrap();
+        let err = without_ref.require_reference("IE").unwrap_err();
+        assert!(err.contains("must include the reference heuristic IE"), "{err}");
+    }
+
+    #[test]
+    fn heuristics_flag_rejects_bad_lists() {
+        // Unknown names fail with the full registry in the message.
+        let err = CliOptions::parse(["--heuristics", "IE,WARP"]).unwrap_err();
+        assert!(err.contains("unknown heuristic 'WARP'"), "{err}");
+        for name in all_heuristic_names() {
+            assert!(err.contains(&name), "error must list valid name {name}: {err}");
+        }
+        // Duplicates (even spelled differently) and empty lists are rejected.
+        let dup = CliOptions::parse(["--heuristics", "IE,ie"]).unwrap_err();
+        assert!(dup.contains("duplicate heuristic 'IE'"), "{dup}");
+        assert!(CliOptions::parse(["--heuristics", ""]).is_err());
+        assert!(CliOptions::parse(["--heuristics"]).is_err());
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //!    availability once ([`RealizedTrial`]) and replays it for every
 //!    heuristic of the trial, instead of re-realizing the same seed once per
 //!    heuristic (~17× redundant sojourn sampling on full campaigns).
+//!    Symmetrically, each scenario job creates **one shared
+//!    [`EvalCache`]** next to its trials, so the Section V group quantities
+//!    are computed once per `(scenario, member set)` instead of once per
+//!    `(heuristic, trial, member set)` — the cache hit/miss counters land in
+//!    [`ExecutorStats`] alongside the realization counts.
 //! 2. **Deterministic results** — every finished instance lands in its
 //!    pre-computed canonical slot (point-major, then scenario, trial,
 //!    heuristic), so [`CampaignResults`] — and its serialized form — is
@@ -29,6 +34,7 @@ use crate::runner::{run_instance_on, trial_seed, InstanceSpec};
 use crate::store::{encode_instance, CampaignStore, ShardWriter, StoredInstance};
 use crate::stream::CampaignAccumulator;
 use crate::suite::fingerprint_suffix;
+use dg_analysis::EvalCache;
 use dg_availability::rng::derive_seed;
 use dg_availability::RealizedTrial;
 use dg_platform::{Scenario, ScenarioParams};
@@ -92,6 +98,32 @@ pub struct ExecutorStats {
     /// missing instance — **not** one per instance; the difference is the
     /// work the shared [`RealizedTrial`] handle saves).
     pub trials_realized: usize,
+    /// Shared evaluation caches created (one per scenario job with at least
+    /// one missing instance — **not** one per instance; all heuristics and
+    /// trials of the scenario evaluate through it).
+    pub eval_caches: usize,
+    /// Section V group sets computed across all scenario caches (cache
+    /// misses). With sharing this is once per `(scenario, member set)`; the
+    /// per-instance path would pay it once per `(heuristic, trial, member
+    /// set)`.
+    pub group_sets_computed: usize,
+    /// Group-quantity lookups served from a shared cache (cache hits).
+    pub group_cache_hits: usize,
+}
+
+impl ExecutorStats {
+    /// Human-readable summary of the shared-evaluation-cache counters, in the
+    /// style of the realization counts (the `eval cache:` line the binaries
+    /// print and CI greps).
+    pub fn eval_cache_summary(&self) -> String {
+        let lookups = self.group_sets_computed + self.group_cache_hits;
+        let hit_rate =
+            if lookups == 0 { 0.0 } else { 100.0 * self.group_cache_hits as f64 / lookups as f64 };
+        format!(
+            "eval cache: {} group sets computed across {} scenario caches, {} hits ({:.1}% hit rate)",
+            self.group_sets_computed, self.eval_caches, self.group_cache_hits, hit_rate
+        )
+    }
 }
 
 /// One fan-out job's output: the job's results in canonical order plus how
@@ -234,13 +266,17 @@ where
     let executed = AtomicUsize::new(0);
     let resumed = AtomicUsize::new(0);
     let trials_realized = AtomicUsize::new(0);
+    let eval_caches = AtomicUsize::new(0);
+    let group_sets_computed = AtomicUsize::new(0);
+    let group_cache_hits = AtomicUsize::new(0);
     let num_jobs = points.len() * scenarios;
     let prefilled_ref = &prefilled;
 
     // One job per (point, scenario): generate the scenario once (skipped
     // entirely when every instance of the job was resumed), then run its
     // trials; each trial realizes availability once and replays it for every
-    // heuristic that still needs to run.
+    // heuristic that still needs to run, and the whole heuristic × trial
+    // fan-out of the job evaluates through one shared EvalCache.
     let worker = |job: usize| -> JobOutput {
         let point_index = job / scenarios;
         let scenario_index = job % scenarios;
@@ -252,6 +288,8 @@ where
             let seed = scenario_seed(config.base_seed, point_index, scenario_index);
             Scenario::generate_with(params, &config.model, seed)
         });
+        let eval_cache =
+            scenario.as_ref().map(|s| EvalCache::new(&s.platform, &s.master, config.epsilon));
         let mut block = Vec::with_capacity(per_scenario);
         let mut executed_in_job = 0usize;
         for trial_index in 0..trials {
@@ -276,15 +314,17 @@ where
                         let scenario =
                             scenario.as_ref().expect("scenario generated for missing instance");
                         let trial = trial.as_ref().expect("trial realized for missing instance");
+                        let cache =
+                            eval_cache.as_ref().expect("eval cache built for missing instance");
                         let spec =
                             InstanceSpec { scenario_index, trial_index, heuristic: *heuristic };
                         let (outcome, _) = run_instance_on(
                             scenario,
                             &spec,
                             trial.replay(),
+                            cache,
                             config.base_seed,
                             config.max_slots,
-                            config.epsilon,
                             config.engine,
                         );
                         executed.fetch_add(1, Ordering::Relaxed);
@@ -302,6 +342,12 @@ where
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 on_progress(d, total);
             }
+        }
+        if let Some(cache) = &eval_cache {
+            let stats = cache.stats();
+            eval_caches.fetch_add(1, Ordering::Relaxed);
+            group_sets_computed.fetch_add(stats.group_misses as usize, Ordering::Relaxed);
+            group_cache_hits.fetch_add(stats.group_hits as usize, Ordering::Relaxed);
         }
         JobOutput { block, executed: executed_in_job }
     };
@@ -342,6 +388,9 @@ where
             executed_instances: executed.into_inner(),
             resumed_instances: resumed.into_inner(),
             trials_realized: trials_realized.into_inner(),
+            eval_caches: eval_caches.into_inner(),
+            group_sets_computed: group_sets_computed.into_inner(),
+            group_cache_hits: group_cache_hits.into_inner(),
         },
     })
 }
@@ -665,15 +714,38 @@ mod tests {
         assert_eq!(outcome.stats.executed_instances, config.total_runs());
         // 2 heuristics per trial: half the realizations of the per-instance path.
         assert_eq!(outcome.stats.executed_instances, trials * 2);
+        // Exactly one shared evaluation cache per scenario job, with the
+        // group tables reused across the job's heuristics and trials.
+        assert_eq!(outcome.stats.eval_caches, config.points().len() * 2);
+        assert!(outcome.stats.group_sets_computed > 0);
+        assert!(outcome.stats.group_cache_hits > outcome.stats.group_sets_computed);
+        let summary = outcome.stats.eval_cache_summary();
+        assert!(summary.contains("group sets computed"), "{summary}");
         // Streaming-only run retains nothing raw.
         assert!(outcome.results.results.is_empty());
         assert_eq!(outcome.streaming.scenarios_consumed(), config.points().len() * 2);
     }
 
     #[test]
+    fn eval_cache_stats_are_thread_count_independent() {
+        // The cache counters aggregate per-scenario caches, so they must be
+        // a pure function of the campaign — not of thread interleaving.
+        let mut config = test_config();
+        config.threads = 1;
+        let sequential = run_campaign_with(&config, &ExecutorOptions::new(), |_, _| {}).unwrap();
+        config.threads = 8;
+        let parallel = run_campaign_with(&config, &ExecutorOptions::new(), |_, _| {}).unwrap();
+        assert_eq!(sequential.stats, parallel.stats);
+        assert!(sequential.stats.group_sets_computed > 0);
+    }
+
+    #[test]
     fn executor_matches_legacy_per_instance_results() {
         // The refactor must not change a single outcome: the executor's
-        // shared-realization results equal per-instance `run_instance` runs.
+        // results — produced with one shared availability realization per
+        // trial AND one shared EvalCache per scenario job — equal
+        // per-instance `run_instance` runs, which realize their own trial and
+        // build a fresh private estimator each.
         use crate::runner::run_instance;
         let config = test_config();
         let results = run_campaign(&config, |_, _| {});

@@ -1,5 +1,6 @@
 //! Execution of a single experiment instance.
 
+use dg_analysis::EvalCache;
 use dg_availability::rng::derive_seed;
 use dg_availability::AvailabilityModel;
 use dg_heuristics::HeuristicSpec;
@@ -60,15 +61,22 @@ pub fn run_instance_with_report(
 ) -> (SimOutcome, EngineReport) {
     let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
     let availability = scenario.realize_trial(seed, max_slots);
-    run_instance_on(scenario, spec, availability, base_seed, max_slots, epsilon, mode)
+    let cache = EvalCache::new(&scenario.platform, &scenario.master, epsilon);
+    run_instance_on(scenario, spec, availability, &cache, base_seed, max_slots, mode)
 }
 
-/// Run one instance on a **pre-realized** availability model instead of
-/// realizing the trial from its seed. This is the entry point the campaign
-/// executor uses to share one [`dg_availability::RealizedTrial`] across all
-/// heuristics of a trial (handing each a replay); the scheduler seed is
-/// derived exactly as in [`run_instance`], so for an availability model
-/// equivalent to the trial's canonical realization the outcome is identical.
+/// Run one instance on a **pre-realized** availability model and a
+/// **caller-supplied** evaluation cache, instead of realizing the trial from
+/// its seed and building a private estimator. This is the entry point the
+/// campaign executor uses to share, per scenario job, one
+/// [`dg_availability::RealizedTrial`] across the heuristics of a trial
+/// (handing each a replay) *and* one [`EvalCache`] across the whole
+/// heuristic × trial fan-out, so each Section V group set is computed once
+/// per scenario. The scheduler seed is derived exactly as in
+/// [`run_instance`], and every cached quantity is a pure function of the
+/// scenario, so for an availability model equivalent to the trial's
+/// canonical realization the outcome is identical no matter how the cache is
+/// shared. The series precision is the one `cache` was built with.
 ///
 /// # Panics
 /// Panics if `max_slots` is zero (see [`SimulationLimits::with_max_slots`]).
@@ -76,15 +84,15 @@ pub fn run_instance_on<A: AvailabilityModel>(
     scenario: &Scenario,
     spec: &InstanceSpec,
     availability: A,
+    cache: &EvalCache,
     base_seed: u64,
     max_slots: u64,
-    epsilon: f64,
     mode: SimMode,
 ) -> (SimOutcome, EngineReport) {
     let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
     // The RANDOM heuristic gets its own stream so that its draws are not
     // correlated with the availability realization.
-    let mut scheduler = spec.heuristic.build(derive_seed(seed, 0x5EED), epsilon);
+    let mut scheduler = spec.heuristic.build_with_cache(derive_seed(seed, 0x5EED), cache);
     let limits = SimulationLimits::with_max_slots(max_slots).expect("slot cap must be positive");
     let simulator = Simulator::new(scenario, availability).with_limits(limits).with_mode(mode);
     let (outcome, _, report) = simulator.run_with_report(scheduler.as_mut());
@@ -175,11 +183,13 @@ mod tests {
     fn shared_trial_replay_matches_per_instance_realization() {
         // One RealizedTrial serving several heuristics produces exactly the
         // outcomes per-heuristic realization does — the equivalence the
-        // campaign executor's availability reuse rests on.
+        // campaign executor's availability reuse rests on. The shared runs
+        // also share one EvalCache, exercising both reuse axes at once.
         use dg_availability::RealizedTrial;
         let scenario = Scenario::generate(ScenarioParams::paper(5, 10, 2), 9);
         let seed = trial_seed(42, scenario.seed, 0);
         let trial = RealizedTrial::new(scenario.availability_for_trial(seed, false));
+        let cache = EvalCache::new(&scenario.platform, &scenario.master, 1e-7);
         for name in ["IE", "Y-IE", "E-IAY", "RANDOM"] {
             let spec = InstanceSpec {
                 scenario_index: 0,
@@ -191,14 +201,55 @@ mod tests {
                 &scenario,
                 &spec,
                 trial.replay(),
+                &cache,
                 42,
                 30_000,
-                1e-7,
                 SimMode::EventDriven,
             );
             assert_eq!(fresh, shared, "{name} diverged on a shared realization");
         }
         assert_eq!(trial.replay_count(), 4);
+    }
+
+    #[test]
+    fn shared_eval_cache_matches_fresh_estimators_for_all_heuristics() {
+        // The tentpole equivalence guarantee: one EvalCache serving all 17
+        // heuristics across several trials — under both engine modes —
+        // produces SimOutcomes byte-identical to per-instance fresh
+        // estimators. The heuristics run in sequence, so every instance after
+        // the first sees a pre-warmed cache populated by *other* heuristics
+        // and *other* trials.
+        let scenario = Scenario::generate(ScenarioParams::paper(5, 10, 2), 23);
+        for mode in [SimMode::EventDriven, SimMode::SlotStepped] {
+            let cache = EvalCache::new(&scenario.platform, &scenario.master, 1e-6);
+            for trial_index in 0..2 {
+                let seed = trial_seed(42, scenario.seed, trial_index);
+                for heuristic in HeuristicSpec::all() {
+                    let spec = InstanceSpec { scenario_index: 0, trial_index, heuristic };
+                    let fresh = run_instance(&scenario, &spec, 42, 30_000, 1e-6, mode);
+                    let (shared, _) = run_instance_on(
+                        &scenario,
+                        &spec,
+                        scenario.realize_trial(seed, 30_000),
+                        &cache,
+                        42,
+                        30_000,
+                        mode,
+                    );
+                    assert_eq!(
+                        fresh,
+                        shared,
+                        "{} diverged between shared and fresh estimators ({mode:?}, trial {trial_index})",
+                        heuristic.name()
+                    );
+                }
+            }
+            // The cache was genuinely shared: far more lookups were served
+            // than sets computed, and each distinct set was computed once.
+            let stats = cache.stats();
+            assert_eq!(stats.group_misses as usize, cache.cached_sets());
+            assert!(stats.group_hits > stats.group_misses);
+        }
     }
 
     #[test]

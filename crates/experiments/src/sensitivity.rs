@@ -14,6 +14,7 @@ use crate::metrics::ReferenceComparison;
 use crate::runner::{run_instance_on, trial_seed, InstanceSpec};
 use crate::store::{encode_instance, CampaignStore, ShardWriter, StoredInstance};
 use crate::suite::fingerprint_suffix;
+use dg_analysis::EvalCache;
 use dg_availability::semi_markov::SemiMarkovModel;
 use dg_availability::RealizedTrial;
 use dg_heuristics::HeuristicSpec;
@@ -207,7 +208,9 @@ pub fn run_sensitivity_with(
 
     // One job per (point, scenario); a job's block holds its (markov, semi)
     // result pairs in canonical (trial-major, heuristic-minor) order. Fully
-    // resumed jobs skip scenario generation and model matching entirely.
+    // resumed jobs skip scenario generation and model matching entirely. Both
+    // availability arms share one evaluation cache: the Section V estimates
+    // depend only on the platform, never on the realized availability.
     let worker = |job: usize| -> (Vec<(InstanceResult, InstanceResult)>, usize) {
         let point_index = job / scenarios;
         let scenario_index = job % scenarios;
@@ -221,7 +224,8 @@ pub fn run_sensitivity_with(
             // fixed by the experiment (Markov vs matched semi-Markov).
             let scenario = Scenario::generate_with(params, &config.model, seed);
             let models = matched_semi_markov_models(&scenario, config.weibull_shape);
-            (scenario, models)
+            let cache = EvalCache::new(&scenario.platform, &scenario.master, config.epsilon);
+            (scenario, models, cache)
         });
         let mut block = Vec::with_capacity(pairs_per_job);
         let mut executed_in_job = 0usize;
@@ -231,13 +235,13 @@ pub fn run_sensitivity_with(
             // still needs it, and share it across the trial's heuristics.
             let markov_trial =
                 (0..num_heuristics).any(|i| prefilled_ref[base + 2 * i].is_none()).then(|| {
-                    let (scenario, _) = scenario.as_ref().expect("scenario generated");
+                    let (scenario, _, _) = scenario.as_ref().expect("scenario generated");
                     let seed = trial_seed(config.base_seed, scenario.seed, trial_index);
                     RealizedTrial::new(scenario.availability_for_trial(seed, false))
                 });
             let semi_trial =
                 (0..num_heuristics).any(|i| prefilled_ref[base + 2 * i + 1].is_none()).then(|| {
-                    let (scenario, models) = scenario.as_ref().expect("scenario generated");
+                    let (scenario, models, _) = scenario.as_ref().expect("scenario generated");
                     let seed = trial_seed(config.base_seed, scenario.seed, trial_index);
                     RealizedTrial::new(SemiMarkovModel::generate_set(
                         models,
@@ -257,15 +261,15 @@ pub fn run_sensitivity_with(
                 let markov_result = match &prefilled_ref[base + 2 * i] {
                     Some(stored) => stored.clone(),
                     None => {
-                        let (scenario, _) = scenario.as_ref().expect("scenario generated");
+                        let (scenario, _, cache) = scenario.as_ref().expect("scenario generated");
                         let trial = markov_trial.as_ref().expect("markov trial realized");
                         let (outcome, _) = run_instance_on(
                             scenario,
                             &spec,
                             trial.replay(),
+                            cache,
                             config.base_seed,
                             config.max_slots,
-                            config.epsilon,
                             config.engine,
                         );
                         executed_in_job += 1;
@@ -275,15 +279,15 @@ pub fn run_sensitivity_with(
                 let semi_result = match &prefilled_ref[base + 2 * i + 1] {
                     Some(stored) => stored.clone(),
                     None => {
-                        let (scenario, _) = scenario.as_ref().expect("scenario generated");
+                        let (scenario, _, cache) = scenario.as_ref().expect("scenario generated");
                         let trial = semi_trial.as_ref().expect("semi trial realized");
                         let (outcome, _) = run_instance_on(
                             scenario,
                             &spec,
                             trial.replay(),
+                            cache,
                             config.base_seed,
                             config.max_slots,
-                            config.epsilon,
                             config.engine,
                         );
                         executed_in_job += 1;

@@ -45,10 +45,12 @@ impl CandidateConfig {
         self.total -= 1;
     }
 
-    /// `(worker, task count)` pairs for workers holding at least one task,
-    /// sorted by worker index.
-    pub fn entries(&self) -> Vec<(usize, usize)> {
-        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(q, &c)| (q, c)).collect()
+    /// `(worker, task count)` pairs for workers holding at least one task, in
+    /// ascending worker order. Lazy and allocation-free: the greedy inner
+    /// loop probes one candidate per `(task, worker)` pair, and this iterator
+    /// feeds each probe straight into the evaluation scratch buffers.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(q, &c)| (q, c))
     }
 
     /// Convert into a simulator assignment.
@@ -70,9 +72,9 @@ mod tests {
         c.add_task(0);
         assert_eq!(c.total_tasks(), 3);
         assert_eq!(c.tasks_of(2), 2);
-        assert_eq!(c.entries(), vec![(0, 1), (2, 2)]);
+        assert_eq!(c.entries().collect::<Vec<_>>(), vec![(0, 1), (2, 2)]);
         c.remove_task(2);
-        assert_eq!(c.entries(), vec![(0, 1), (2, 1)]);
+        assert_eq!(c.entries().collect::<Vec<_>>(), vec![(0, 1), (2, 1)]);
         let a = c.to_assignment();
         assert_eq!(a.total_tasks(), 2);
         assert_eq!(a.members(), vec![0, 2]);

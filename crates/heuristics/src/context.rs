@@ -1,25 +1,48 @@
 //! Shared evaluation context for all heuristics.
 //!
-//! The context owns the (lazily created) [`dg_analysis::Estimator`] and knows
-//! how to evaluate a candidate configuration — or the *remaining* work of the
-//! currently active configuration — against the Section V estimates, taking
+//! The context holds a handle to the evaluation layer of `dg-analysis` — a
+//! lazily created private [`dg_analysis::EvalCache`], or a shared one
+//! injected through [`SchedulingContext::with_cache`] so that all heuristics
+//! and all trials of a scenario memoize into the same tables — and knows how
+//! to evaluate a candidate configuration (or the *remaining* work of the
+//! currently active configuration) against the Section V estimates, taking
 //! into account what each worker already holds (program, data messages).
+//!
+//! Evaluation is allocation-free on the hot path: the per-probe member, task
+//! and communication-volume lists live in scratch buffers reused across
+//! [`SchedulingContext::evaluate`] calls, and the member lists handed to the
+//! estimator are already sorted, so the cache looks them up without building
+//! a key.
 
-use dg_analysis::{Estimator, IterationEstimate};
+use dg_analysis::{Estimator, EvalCache, IterationEstimate};
 use dg_sim::config::ActiveConfiguration;
 use dg_sim::view::SimView;
 
-/// Lazily initialized evaluation context shared by the heuristics.
-#[derive(Debug, Default)]
+/// Evaluation context shared by the heuristics: an estimator handle plus the
+/// scratch buffers of the candidate-evaluation hot path.
+#[derive(Debug)]
 pub struct SchedulingContext {
     estimator: Option<Estimator>,
     epsilon: f64,
+    // Scratch buffers reused by evaluate/evaluate_remaining so that probing a
+    // candidate allocates nothing.
+    members: Vec<usize>,
+    tasks: Vec<usize>,
+    comm: Vec<u64>,
 }
 
 impl SchedulingContext {
-    /// Create a context using the given series-truncation precision `ε`.
+    /// Create a context using the given series-truncation precision `ε`. The
+    /// evaluation cache is private to this context and built lazily from the
+    /// first view.
     pub fn new(epsilon: f64) -> Self {
-        SchedulingContext { estimator: None, epsilon }
+        SchedulingContext {
+            estimator: None,
+            epsilon,
+            members: Vec::new(),
+            tasks: Vec::new(),
+            comm: Vec::new(),
+        }
     }
 
     /// Create a context with the default precision of `dg-analysis`.
@@ -27,30 +50,55 @@ impl SchedulingContext {
         SchedulingContext::new(dg_analysis::DEFAULT_EPSILON)
     }
 
-    /// Access the estimator, creating it from the view's platform and master
-    /// description on first use.
-    pub fn estimator(&mut self, view: &SimView<'_>) -> &mut Estimator {
+    /// Create a context evaluating through the (possibly shared) `cache`.
+    /// Every context built from clones of one cache handle reads and writes
+    /// the same memo tables, so group quantities are computed once per
+    /// scenario rather than once per heuristic.
+    pub fn with_cache(cache: EvalCache) -> Self {
+        SchedulingContext {
+            epsilon: cache.tables().epsilon(),
+            estimator: Some(Estimator::from_cache(cache)),
+            members: Vec::new(),
+            tasks: Vec::new(),
+            comm: Vec::new(),
+        }
+    }
+
+    /// Access the estimator, creating it (with a private cache) from the
+    /// view's platform and master description on first use.
+    pub fn estimator(&mut self, view: &SimView<'_>) -> &Estimator {
+        self.ensure_estimator(view);
+        self.estimator.as_ref().expect("estimator was just initialized")
+    }
+
+    fn ensure_estimator(&mut self, view: &SimView<'_>) {
         if self.estimator.is_none() {
             self.estimator = Some(Estimator::new(view.platform, view.master, self.epsilon));
         }
-        self.estimator.as_mut().expect("estimator was just initialized")
     }
 
-    /// Evaluate a candidate configuration described by `(worker, tasks)` pairs:
-    /// expected duration and success probability of the whole iteration it
-    /// would run (remaining communication given what workers already hold,
-    /// followed by the full lock-step computation).
+    /// Evaluate a candidate configuration described by `(worker, tasks)`
+    /// entries (ascending worker order, as produced by
+    /// [`crate::CandidateConfig::entries`]): expected duration and success
+    /// probability of the whole iteration it would run (remaining
+    /// communication given what workers already hold, followed by the full
+    /// lock-step computation).
     pub fn evaluate(
         &mut self,
         view: &SimView<'_>,
-        entries: &[(usize, usize)],
+        entries: impl IntoIterator<Item = (usize, usize)>,
     ) -> IterationEstimate {
-        let members: Vec<usize> = entries.iter().map(|&(q, _)| q).collect();
-        let tasks: Vec<usize> = entries.iter().map(|&(_, x)| x).collect();
-        let comm: Vec<u64> =
-            entries.iter().map(|&(q, x)| view.comm_slots_remaining(q, x)).collect();
-        let est = self.estimator(view);
-        est.iteration_estimate(&members, &tasks, &comm)
+        self.members.clear();
+        self.tasks.clear();
+        self.comm.clear();
+        for (q, x) in entries {
+            self.members.push(q);
+            self.tasks.push(x);
+            self.comm.push(view.comm_slots_remaining(q, x));
+        }
+        self.ensure_estimator(view);
+        let est = self.estimator.as_ref().expect("estimator was just initialized");
+        est.iteration_estimate(&self.members, &self.tasks, &self.comm)
     }
 
     /// Evaluate the *remaining* work of the currently active configuration:
@@ -64,21 +112,30 @@ impl SchedulingContext {
         view: &SimView<'_>,
         config: &ActiveConfiguration,
     ) -> IterationEstimate {
-        let entries = config.assignment.entries();
-        let members: Vec<usize> = entries.iter().map(|&(q, _)| q).collect();
-        let comm: Vec<u64> =
-            entries.iter().map(|&(q, x)| view.comm_slots_remaining(q, x)).collect();
+        self.members.clear();
+        self.comm.clear();
+        for &(q, x) in config.assignment.entries() {
+            self.members.push(q);
+            self.comm.push(view.comm_slots_remaining(q, x));
+        }
         let remaining = config.remaining_computation();
-        let est = self.estimator(view);
-        let comm_est = est.comm_estimate(&members, &comm);
-        let comp_e = est.expected_computation_time(&members, remaining);
-        let comp_p = est.computation_success_probability(&members, remaining);
+        self.ensure_estimator(view);
+        let est = self.estimator.as_ref().expect("estimator was just initialized");
+        let comm_est = est.comm_estimate(&self.members, &self.comm);
+        let comp_e = est.expected_computation_time(&self.members, remaining);
+        let comp_p = est.computation_success_probability(&self.members, remaining);
         IterationEstimate::combine(
             comm_est.expected_duration,
             comm_est.success_probability,
             comp_e,
             comp_p,
         )
+    }
+}
+
+impl Default for SchedulingContext {
+    fn default() -> Self {
+        SchedulingContext::with_default_epsilon()
     }
 }
 
@@ -130,7 +187,7 @@ mod tests {
         let f = fixture();
         let v = view(&f, None);
         let mut ctx = SchedulingContext::with_default_epsilon();
-        let est = ctx.evaluate(&v, &[(0, 1), (1, 1), (2, 1)]);
+        let est = ctx.evaluate(&v, [(0, 1), (1, 1), (2, 1)]);
         // comm: program 2 + data 1 = 3 per worker, parallel -> 3; compute: 2.
         assert!((est.expected_duration - 5.0).abs() < 1e-6);
         assert!((est.success_probability - 1.0).abs() < 1e-9);
@@ -144,8 +201,8 @@ mod tests {
             WorkerDynamicState { has_program: true, data_messages: 1, ..Default::default() };
         let v = view(&f, None);
         let mut ctx = SchedulingContext::with_default_epsilon();
-        let with_data = ctx.evaluate(&v, &[(0, 1)]);
-        let fresh = ctx.evaluate(&v, &[(1, 1)]);
+        let with_data = ctx.evaluate(&v, [(0, 1)]);
+        let fresh = ctx.evaluate(&v, [(1, 1)]);
         // Worker 0 needs no more communication, so it is strictly faster.
         assert!(with_data.expected_duration < fresh.expected_duration);
         assert!((with_data.expected_duration - 2.0).abs() < 1e-6);
@@ -169,5 +226,39 @@ mod tests {
         let after = ctx.evaluate_remaining(&v, &cfg);
         assert!(after.expected_duration < before.expected_duration);
         assert!(after.success_probability >= before.success_probability - 1e-12);
+    }
+
+    #[test]
+    fn contexts_over_one_cache_share_memoized_sets() {
+        let f = fixture();
+        let v = view(&f, None);
+        let cache = dg_analysis::EvalCache::with_default_epsilon(&f.platform, &f.master);
+        let mut a = SchedulingContext::with_cache(cache.clone());
+        let mut b = SchedulingContext::with_cache(cache.clone());
+        let ea = a.evaluate(&v, [(0, 1), (1, 1)]);
+        let misses = cache.stats().group_misses;
+        let eb = b.evaluate(&v, [(0, 1), (1, 1)]);
+        assert_eq!(ea, eb);
+        // The second context recomputed nothing: every probe was a hit.
+        assert_eq!(cache.stats().group_misses, misses);
+        assert!(cache.stats().group_hits > 0);
+        // And a private-cache context agrees exactly.
+        let mut private = SchedulingContext::with_default_epsilon();
+        assert_eq!(private.evaluate(&v, [(0, 1), (1, 1)]), ea);
+    }
+
+    #[test]
+    fn scratch_buffers_do_not_leak_between_probes() {
+        let f = fixture();
+        let v = view(&f, None);
+        let mut ctx = SchedulingContext::with_default_epsilon();
+        let wide = ctx.evaluate(&v, [(0, 1), (1, 1), (2, 1)]);
+        let narrow = ctx.evaluate(&v, [(1, 2)]);
+        let wide_again = ctx.evaluate(&v, [(0, 1), (1, 1), (2, 1)]);
+        assert_eq!(wide, wide_again);
+        assert_ne!(wide, narrow);
+        // An empty probe after a populated one must see empty buffers.
+        let empty = ctx.evaluate(&v, std::iter::empty());
+        assert_eq!(empty.expected_duration, 0.0);
     }
 }

@@ -23,7 +23,11 @@
 //!   (the current configuration being re-evaluated on its *remaining* work).
 //!
 //! The [`registry`] module enumerates all heuristics by their paper names
-//! (`"Y-IE"`, `"IAY"`, `"RANDOM"`, …) and builds them from a name string.
+//! (`"Y-IE"`, `"IAY"`, `"RANDOM"`, …) and builds them from a name string —
+//! either with a private evaluation cache ([`build_heuristic`]) or through a
+//! shared, scenario-scoped [`dg_analysis::EvalCache`]
+//! ([`build_heuristic_with_cache`]), so a campaign evaluating many heuristics
+//! and trials on one scenario computes each Section V group set once.
 //!
 //! Every heuristic also declares, through [`dg_sim::Reevaluation`], when its
 //! decisions can change while the observable simulation state does not — the
@@ -60,4 +64,6 @@ pub use context::SchedulingContext;
 pub use passive::{PassiveKind, PassiveScheduler};
 pub use proactive::{ProactiveCriterion, ProactiveScheduler};
 pub use random::RandomScheduler;
-pub use registry::{all_heuristic_names, build_heuristic, HeuristicSpec};
+pub use registry::{
+    all_heuristic_names, build_heuristic, build_heuristic_with_cache, HeuristicSpec,
+};

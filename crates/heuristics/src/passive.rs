@@ -94,7 +94,7 @@ pub fn build_incremental(
                 continue;
             }
             candidate.add_task(q);
-            let estimate = context.evaluate(view, &candidate.entries());
+            let estimate = context.evaluate(view, candidate.entries());
             let score = kind.score(&estimate, elapsed);
             candidate.remove_task(q);
             let better = match best {
@@ -130,11 +130,18 @@ impl PassiveScheduler {
 
     /// Create a passive scheduler with an explicit estimate precision `ε`.
     pub fn with_epsilon(kind: PassiveKind, epsilon: f64) -> Self {
-        PassiveScheduler {
-            kind,
-            context: SchedulingContext::new(epsilon),
-            name: kind.paper_name().to_string(),
-        }
+        PassiveScheduler::with_context(kind, SchedulingContext::new(epsilon))
+    }
+
+    /// Create a passive scheduler evaluating through the (possibly shared)
+    /// `cache`, so its estimates memoize into the scenario-scoped tables
+    /// instead of a private one.
+    pub fn with_cache(kind: PassiveKind, cache: dg_analysis::EvalCache) -> Self {
+        PassiveScheduler::with_context(kind, SchedulingContext::with_cache(cache))
+    }
+
+    fn with_context(kind: PassiveKind, context: SchedulingContext) -> Self {
+        PassiveScheduler { kind, context, name: kind.paper_name().to_string() }
     }
 
     /// The incremental criterion used by this scheduler.

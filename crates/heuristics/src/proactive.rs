@@ -101,14 +101,26 @@ impl ProactiveScheduler {
 
     /// Create the proactive scheduler `criterion-base` with precision `ε`.
     pub fn with_epsilon(criterion: ProactiveCriterion, base: PassiveKind, epsilon: f64) -> Self {
+        ProactiveScheduler::with_context(criterion, base, SchedulingContext::new(epsilon))
+    }
+
+    /// Create the proactive scheduler `criterion-base` evaluating through the
+    /// (possibly shared) `cache`.
+    pub fn with_cache(
+        criterion: ProactiveCriterion,
+        base: PassiveKind,
+        cache: dg_analysis::EvalCache,
+    ) -> Self {
+        ProactiveScheduler::with_context(criterion, base, SchedulingContext::with_cache(cache))
+    }
+
+    fn with_context(
+        criterion: ProactiveCriterion,
+        base: PassiveKind,
+        context: SchedulingContext,
+    ) -> Self {
         let name = format!("{}-{}", criterion.paper_letter(), base.paper_name());
-        ProactiveScheduler {
-            criterion,
-            base,
-            context: SchedulingContext::new(epsilon),
-            name,
-            last_candidate: None,
-        }
+        ProactiveScheduler { criterion, base, context, name, last_candidate: None }
     }
 
     /// Build (or reuse) the candidate configuration for the current view.
@@ -181,7 +193,7 @@ impl Scheduler for ProactiveScheduler {
         let elapsed = view.elapsed_in_iteration();
         let current_estimate = self.context.evaluate_remaining(view, current);
         let current_score = self.criterion.score(&current_estimate, elapsed);
-        let candidate_estimate = self.context.evaluate(view, candidate.entries());
+        let candidate_estimate = self.context.evaluate(view, candidate.entries().iter().copied());
         let candidate_score = self.criterion.score(&candidate_estimate, elapsed);
 
         if candidate_score > current_score {

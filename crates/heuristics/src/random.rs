@@ -23,17 +23,19 @@ impl RandomScheduler {
 
     fn build_random(&mut self, view: &SimView<'_>) -> Option<Assignment> {
         let m = view.application.tasks_per_iteration;
-        let up = view.up_workers();
         // Feasibility precheck before any RNG draw: the UP workers must be
         // able to hold all m tasks. This keeps the RNG stream a pure function
         // of the *installed* configurations — repeated decide() calls on an
         // unchanged infeasible view consume nothing — which is what lets the
         // event-driven engine skip idle slots without perturbing RANDOM's
-        // choices relative to the slot-stepper.
-        let capacity: usize = up.iter().map(|&q| view.platform.worker(q).capacity_for(m)).sum();
+        // choices relative to the slot-stepper. The lazy scan also keeps the
+        // (frequent) infeasible consults allocation-free.
+        let capacity: usize =
+            view.up_workers_iter().map(|q| view.platform.worker(q).capacity_for(m)).sum();
         if capacity < m {
             return None;
         }
+        let up = view.up_workers();
         let mut counts = vec![0usize; view.platform.num_workers()];
         for _ in 0..m {
             let eligible: Vec<usize> = up

@@ -3,6 +3,7 @@
 use crate::passive::{PassiveKind, PassiveScheduler};
 use crate::proactive::{ProactiveCriterion, ProactiveScheduler};
 use crate::random::RandomScheduler;
+use dg_analysis::EvalCache;
 use dg_sim::Scheduler;
 use serde::{Deserialize, Serialize};
 
@@ -62,14 +63,30 @@ impl HeuristicSpec {
         matches!(self, HeuristicSpec::Proactive(_, _))
     }
 
-    /// Instantiate the scheduler. `seed` is only used by RANDOM; `epsilon` is
-    /// the precision of the Section V estimates.
+    /// Instantiate the scheduler with a private evaluation cache. `seed` is
+    /// only used by RANDOM; `epsilon` is the precision of the Section V
+    /// estimates.
     pub fn build(&self, seed: u64, epsilon: f64) -> Box<dyn Scheduler> {
         match *self {
             HeuristicSpec::Random => Box::new(RandomScheduler::new(seed)),
             HeuristicSpec::Passive(k) => Box::new(PassiveScheduler::with_epsilon(k, epsilon)),
             HeuristicSpec::Proactive(c, k) => {
                 Box::new(ProactiveScheduler::with_epsilon(c, k, epsilon))
+            }
+        }
+    }
+
+    /// Instantiate the scheduler evaluating through the (possibly shared)
+    /// `cache`, so every heuristic built from clones of one handle memoizes
+    /// the Section V group quantities into the same scenario-scoped tables.
+    /// `seed` is only used by RANDOM (which needs no estimates); the series
+    /// precision is the one the cache's tables were built with.
+    pub fn build_with_cache(&self, seed: u64, cache: &EvalCache) -> Box<dyn Scheduler> {
+        match *self {
+            HeuristicSpec::Random => Box::new(RandomScheduler::new(seed)),
+            HeuristicSpec::Passive(k) => Box::new(PassiveScheduler::with_cache(k, cache.clone())),
+            HeuristicSpec::Proactive(c, k) => {
+                Box::new(ProactiveScheduler::with_cache(c, k, cache.clone()))
             }
         }
     }
@@ -80,9 +97,19 @@ pub fn all_heuristic_names() -> Vec<String> {
     HeuristicSpec::all().iter().map(|s| s.name()).collect()
 }
 
-/// Build a heuristic from its paper name.
+/// Build a heuristic from its paper name, with a private evaluation cache.
 pub fn build_heuristic(name: &str, seed: u64, epsilon: f64) -> Result<Box<dyn Scheduler>, String> {
     Ok(HeuristicSpec::parse(name)?.build(seed, epsilon))
+}
+
+/// Build a heuristic from its paper name, evaluating through the (possibly
+/// shared) `cache` — see [`HeuristicSpec::build_with_cache`].
+pub fn build_heuristic_with_cache(
+    name: &str,
+    seed: u64,
+    cache: &EvalCache,
+) -> Result<Box<dyn Scheduler>, String> {
+    Ok(HeuristicSpec::parse(name)?.build_with_cache(seed, cache))
 }
 
 #[cfg(test)]
@@ -129,6 +156,45 @@ mod tests {
         let byname = build_heuristic("Y-IE", 0, 1e-7).unwrap();
         assert_eq!(byname.name(), "Y-IE");
         assert!(build_heuristic("nope", 0, 1e-7).is_err());
+    }
+
+    #[test]
+    fn build_with_cache_shares_one_memo_table_across_heuristics() {
+        use dg_availability::ProcState;
+        use dg_sim::view::{SimView, WorkerView};
+        use dg_sim::worker_state::WorkerDynamicState;
+
+        let scenario =
+            dg_platform::Scenario::generate(dg_platform::ScenarioParams::paper(4, 8, 1), 5);
+        let cache = EvalCache::new(&scenario.platform, &scenario.master, 1e-7);
+        let workers: Vec<WorkerView> = (0..scenario.platform.num_workers())
+            .map(|_| WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() })
+            .collect();
+        let view = SimView {
+            time: 0,
+            iteration: 0,
+            completed_iterations: 0,
+            iteration_started_at: 0,
+            workers: &workers,
+            platform: &scenario.platform,
+            application: &scenario.application,
+            master: &scenario.master,
+            current: None,
+        };
+        // Drive one decision per heuristic; after the first estimator-based
+        // heuristic has populated the cache, identical siblings add no misses.
+        let mut sched = build_heuristic_with_cache("IE", 1, &cache).unwrap();
+        let _ = sched.decide(&view);
+        let misses_after_first = cache.stats().group_misses;
+        assert!(misses_after_first > 0, "IE must have populated the shared cache");
+        let mut again = build_heuristic_with_cache("IE", 2, &cache).unwrap();
+        let _ = again.decide(&view);
+        assert_eq!(cache.stats().group_misses, misses_after_first);
+        // Names survive the cache-accepting constructor for every spec.
+        for spec in HeuristicSpec::all() {
+            let sched = spec.build_with_cache(42, &cache);
+            assert_eq!(sched.name(), spec.name());
+        }
     }
 
     #[test]

@@ -48,7 +48,15 @@ pub struct SimView<'a> {
 impl<'a> SimView<'a> {
     /// Indices of the workers that are `UP` during the current slot.
     pub fn up_workers(&self) -> Vec<usize> {
-        self.workers.iter().enumerate().filter(|(_, w)| w.state.is_up()).map(|(q, _)| q).collect()
+        self.up_workers_iter().collect()
+    }
+
+    /// Allocation-free variant of [`SimView::up_workers`]: the `UP` worker
+    /// indices as a lazy iterator, for schedulers that scan the set once (or
+    /// fill a reused buffer) instead of materializing a fresh `Vec` per
+    /// decision.
+    pub fn up_workers_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.workers.iter().enumerate().filter(|(_, w)| w.state.is_up()).map(|(q, _)| q)
     }
 
     /// `true` if worker `q` is `UP` during the current slot.
@@ -276,6 +284,7 @@ mod tests {
             current: None,
         };
         assert_eq!(view.up_workers(), vec![0, 2]);
+        assert_eq!(view.up_workers_iter().collect::<Vec<_>>(), view.up_workers());
         assert!(view.is_up(0));
         assert!(!view.is_up(1));
         assert_eq!(view.elapsed_in_iteration(), 3);

@@ -50,12 +50,14 @@ pub use dg_sim as sim;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use dg_analysis::{Estimator, GroupComputation, IterationEstimate};
+    pub use dg_analysis::{
+        Estimator, EvalCache, GroupComputation, IterationEstimate, PlatformTables,
+    };
     pub use dg_availability::trace::{AvailabilityModel, MarkovAvailability, ScriptedAvailability};
     pub use dg_availability::{MarkovChain3, ProcState, SemiMarkovModel, StateTrace};
     pub use dg_heuristics::{
-        build_heuristic, HeuristicSpec, PassiveKind, PassiveScheduler, ProactiveCriterion,
-        ProactiveScheduler, RandomScheduler,
+        build_heuristic, build_heuristic_with_cache, HeuristicSpec, PassiveKind, PassiveScheduler,
+        ProactiveCriterion, ProactiveScheduler, RandomScheduler,
     };
     pub use dg_offline::{greedy_mu1, solve_mu1_exact, EncdInstance, OfflineInstance};
     pub use dg_platform::{

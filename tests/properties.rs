@@ -208,6 +208,71 @@ proptest! {
         prop_assert_eq!(slot_report.executed_slots, slot_report.simulated_slots);
         prop_assert!(event_report.executed_slots <= slot_report.executed_slots);
     }
+
+    /// The evaluation-layer equivalence guarantee: on random scenarios, under
+    /// both engines, an instance evaluated through a shared, pre-warmed
+    /// `EvalCache` — populated by *other* heuristics and an earlier trial —
+    /// produces a `SimOutcome` byte-identical to the per-instance path with a
+    /// fresh private estimator.
+    #[test]
+    fn shared_eval_cache_and_fresh_estimators_agree(
+        seed in 0u64..10_000,
+        wmin in 1u64..4,
+        ncom in 2usize..8,
+        heuristic_idx in 0usize..17,
+        event_engine in any::<bool>(),
+    ) {
+        use desktop_grid_scheduling::experiments::runner::{run_instance_on, trial_seed};
+
+        let cap = 20_000u64;
+        let mode = if event_engine { SimMode::EventDriven } else { SimMode::SlotStepped };
+        let scenario = Scenario::generate(
+            ScenarioParams { num_workers: 10, tasks_per_iteration: 4, ncom, wmin, iterations: 2 },
+            seed,
+        );
+        let heuristic = HeuristicSpec::all()[heuristic_idx];
+        let spec = InstanceSpec { scenario_index: 0, trial_index: 1, heuristic };
+        let fresh = run_instance(&scenario, &spec, seed, cap, 1e-6, mode);
+
+        // Pre-warm the shared cache with two other heuristics on another
+        // trial, then run the instance under test through it.
+        let cache = EvalCache::new(&scenario.platform, &scenario.master, 1e-6);
+        for warm in ["IE", "Y-IAY"] {
+            let warm_spec = InstanceSpec {
+                scenario_index: 0,
+                trial_index: 0,
+                heuristic: HeuristicSpec::parse(warm).unwrap(),
+            };
+            let warm_ts = trial_seed(seed, scenario.seed, 0);
+            run_instance_on(
+                &scenario,
+                &warm_spec,
+                scenario.realize_trial(warm_ts, cap),
+                &cache,
+                seed,
+                cap,
+                mode,
+            );
+        }
+        let ts = trial_seed(seed, scenario.seed, 1);
+        let (shared, _) = run_instance_on(
+            &scenario,
+            &spec,
+            scenario.realize_trial(ts, cap),
+            &cache,
+            seed,
+            cap,
+            mode,
+        );
+        prop_assert_eq!(
+            &fresh, &shared,
+            "{} (seed {seed}, {mode:?}) diverged between shared cache and fresh estimator",
+            heuristic.name()
+        );
+        // Sharing actually happened: each distinct set was computed once.
+        let stats = cache.stats();
+        prop_assert_eq!(stats.group_misses as usize, cache.cached_sets());
+    }
 }
 
 /// Strategy over every speed profile with random parameters.
