@@ -26,12 +26,18 @@
 
 use crate::comm::CommEstimate;
 use crate::criteria::IterationEstimate;
-use crate::group::{GroupComputation, GroupQuantities};
+use crate::group::{GroupAccumulator, GroupComputation, GroupQuantities};
 use crate::series::WorkerSeries;
 use dg_platform::{MasterSpec, Platform};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Upper bound on the total number of per-`t` joint products retained by the
+/// prefix accumulators (~32 MB of `f64`s). Accumulators are pure derivations
+/// of the platform tables, so dropping them never changes a value — only how
+/// much work the next cache miss does.
+const ACCUMULATOR_TERM_BUDGET: u64 = 4_000_000;
 
 /// Immutable, scenario-scoped inputs of the Section V estimates: worker
 /// availability series, speeds, the master's `ncom` bound and the
@@ -129,6 +135,12 @@ impl EvalCacheStats {
 struct CacheState {
     group: RwLock<HashMap<Vec<usize>, GroupQuantities>>,
     no_down: RwLock<HashMap<(usize, u64), f64>>,
+    /// Prefix accumulators keyed by sorted member set: `accums[S]` holds the
+    /// per-`t` joint products of `S`, so a miss on `S ∪ {q}` (with `q` above
+    /// every member of `S`) extends in O(terms) instead of recomputing the
+    /// whole series. Bounded by [`ACCUMULATOR_TERM_BUDGET`].
+    accums: RwLock<HashMap<Vec<usize>, Arc<GroupAccumulator>>>,
+    accum_terms: AtomicU64,
     group_hits: AtomicU64,
     group_misses: AtomicU64,
 }
@@ -197,9 +209,54 @@ impl EvalCache {
             return g;
         }
         self.state.group_misses.fetch_add(1, Ordering::Relaxed);
-        let g = self.tables.compute_group(key);
+        // Multi-worker sets whose smallest member can fail (hence every sorted
+        // prefix can fail) are built by extending the memoized accumulator of
+        // the longest proper prefix — bit-identical to the batch series, at
+        // O(terms) per probe instead of O(terms × |S|). Everything else takes
+        // the batch path (singletons, and sets needing the recurrence).
+        let g = if key.len() >= 2 && self.tables.series[key[0]].can_fail() {
+            self.accumulator_for(key).quantities()
+        } else {
+            self.tables.compute_group(key)
+        };
         self.state.group.write().expect("eval cache poisoned").insert(key.to_vec(), g);
         g
+    }
+
+    /// The memoized prefix accumulator of a sorted, duplicate-free key whose
+    /// first member can fail.
+    ///
+    /// Built by extending the accumulator of `key[..len-1]` by the last
+    /// (largest) member, so the fold order equals a batch evaluation of the
+    /// full slice and the quantities are bit-identical to
+    /// [`PlatformTables`]' direct computation. Racing builds of the same key
+    /// therefore insert identical values; the first insert wins.
+    fn accumulator_for(&self, key: &[usize]) -> Arc<GroupAccumulator> {
+        if let Some(acc) = self.state.accums.read().expect("eval cache poisoned").get(key) {
+            return Arc::clone(acc);
+        }
+        let base = if key.len() == 1 {
+            Arc::new(GroupAccumulator::empty(self.tables.epsilon()))
+        } else {
+            self.accumulator_for(&key[..key.len() - 1])
+        };
+        let last = key[key.len() - 1];
+        let extended = Arc::new(
+            base.extend(self.tables.worker_series(last))
+                .expect("every prefix of a chain rooted at a can-fail worker can fail"),
+        );
+        let mut map = self.state.accums.write().expect("eval cache poisoned");
+        if let Some(existing) = map.get(key) {
+            return Arc::clone(existing);
+        }
+        let added = extended.stored_terms() as u64;
+        let total = self.state.accum_terms.fetch_add(added, Ordering::Relaxed) + added;
+        if total > ACCUMULATOR_TERM_BUDGET {
+            map.clear();
+            self.state.accum_terms.store(added, Ordering::Relaxed);
+        }
+        map.insert(key.to_vec(), Arc::clone(&extended));
+        extended
     }
 
     /// Memoized `P^(q)_{ND}(t)`: probability that worker `q` does not go
@@ -218,6 +275,12 @@ impl EvalCache {
         self.state.group.read().expect("eval cache poisoned").len()
     }
 
+    /// Number of prefix accumulators currently retained (exposed for the
+    /// scaling bench and tests; see [`GroupAccumulator`]).
+    pub fn cached_accumulators(&self) -> usize {
+        self.state.accums.read().expect("eval cache poisoned").len()
+    }
+
     /// Group-lookup hit/miss counters since creation (or the last
     /// [`EvalCache::clear`]).
     pub fn stats(&self) -> EvalCacheStats {
@@ -231,6 +294,8 @@ impl EvalCache {
     pub fn clear(&self) {
         self.state.group.write().expect("eval cache poisoned").clear();
         self.state.no_down.write().expect("eval cache poisoned").clear();
+        self.state.accums.write().expect("eval cache poisoned").clear();
+        self.state.accum_terms.store(0, Ordering::Relaxed);
         self.state.group_hits.store(0, Ordering::Relaxed);
         self.state.group_misses.store(0, Ordering::Relaxed);
     }
@@ -577,6 +642,34 @@ mod tests {
         }
         // One miss per subset size, no sharing between sizes.
         assert_eq!(est.cache().stats().group_misses, 10);
+    }
+
+    #[test]
+    fn prefix_chain_misses_match_batch_computation_exactly() {
+        // The greedy inner loop probes S ∪ {q} for many q; the cache builds
+        // those through memoized prefix accumulators. Every served value must
+        // equal the batch series bit for bit, and the bookkeeping invariant
+        // (one miss per distinct set) must be untouched by the chain.
+        let s = paper_scenario();
+        let cache = EvalCache::with_default_epsilon(&s.platform, &s.master);
+        let tables = PlatformTables::new(&s.platform, &s.master, crate::DEFAULT_EPSILON);
+        let sets: Vec<Vec<usize>> = vec![
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 2, 4],
+            vec![1, 3],
+            vec![5],
+            vec![2, 5, 9, 12],
+        ];
+        for set in &sets {
+            assert_eq!(cache.group(set), tables.compute_group(set), "set {set:?}");
+        }
+        assert_eq!(cache.stats().group_misses as usize, sets.len());
+        assert_eq!(cache.cached_sets(), sets.len());
+        assert!(cache.cached_accumulators() > 0);
+        cache.clear();
+        assert_eq!(cache.cached_accumulators(), 0);
     }
 
     #[test]

@@ -151,35 +151,19 @@ impl GroupComputation {
     /// worker can fail so that `Λ = Π λ₁ < 1`.
     fn compute_series(&self, workers: &[&WorkerSeries]) -> GroupQuantities {
         let lambda: f64 = workers.iter().map(|w| w.lambda1()).product();
-        let lambda = lambda.min(1.0 - 1e-12);
-        let one_minus = 1.0 - lambda;
+        run_series(self.epsilon, lambda, |t| self.joint_up_to_up(workers, t), |_| ())
+    }
 
-        let mut eu = 0.0;
-        let mut a = 0.0;
-        let mut t = 1u64;
-        let mut lambda_pow = lambda; // Λ^t
-        loop {
-            let p = self.joint_up_to_up(workers, t);
-            eu += p;
-            a += t as f64 * p;
-
-            // Tail bounds after summing term t:
-            //   Σ_{s>t} Λ^s           = Λ^{t+1} / (1 − Λ)
-            //   Σ_{s>t} s·Λ^s         = Λ^{t+1}·( (t+1)/(1−Λ) + Λ/(1−Λ)² )
-            let tail_eu = lambda_pow * lambda / one_minus;
-            let tail_a = lambda_pow
-                * lambda
-                * ((t + 1) as f64 / one_minus + lambda / (one_minus * one_minus));
-            if (tail_eu <= self.epsilon && tail_a <= self.epsilon) || t >= MAX_SERIES_TERMS {
-                break;
-            }
-            lambda_pow *= lambda;
-            t += 1;
+    /// Build a [`GroupAccumulator`] for `workers` by chained extension in
+    /// slice order, or `None` if the set cannot fail (no truncated series
+    /// exists for it). The resulting quantities are bit-identical to
+    /// [`GroupComputation::compute`] on the same slice.
+    pub fn accumulate(&self, workers: &[&WorkerSeries]) -> Option<GroupAccumulator> {
+        let mut acc = GroupAccumulator::empty(self.epsilon);
+        for w in workers {
+            acc = acc.extend(w)?;
         }
-
-        let p_plus = eu / (1.0 + eu);
-        let e_c = a * (1.0 - p_plus) / (1.0 + eu);
-        GroupQuantities { eu, a, p_plus, e_c, can_fail: true, terms_evaluated: t }
+        Some(acc)
     }
 
     /// First-return recurrence, used when no worker of the set can fail
@@ -251,6 +235,198 @@ impl GroupComputation {
 impl Default for GroupComputation {
     fn default() -> Self {
         GroupComputation::new(crate::DEFAULT_EPSILON)
+    }
+}
+
+/// The truncation loop of Theorem 5.1, shared by the batch
+/// [`GroupComputation::compute`] path and [`GroupAccumulator`]. Keeping one
+/// accumulation order (and one tail-bound break condition) is what makes the
+/// incremental path agree with the batch path bit for bit.
+///
+/// `joint_at(t)` yields `P^(S)_{u →t→ u}` and `record` observes each evaluated
+/// term (the accumulator stores them; the batch path discards them).
+fn run_series(
+    epsilon: f64,
+    raw_lambda: f64,
+    mut joint_at: impl FnMut(u64) -> f64,
+    mut record: impl FnMut(f64),
+) -> GroupQuantities {
+    let lambda = raw_lambda.min(1.0 - 1e-12);
+    let one_minus = 1.0 - lambda;
+
+    let mut eu = 0.0;
+    let mut a = 0.0;
+    let mut t = 1u64;
+    let mut lambda_pow = lambda; // Λ^t
+    loop {
+        let p = joint_at(t);
+        record(p);
+        eu += p;
+        a += t as f64 * p;
+
+        // Tail bounds after summing term t:
+        //   Σ_{s>t} Λ^s           = Λ^{t+1} / (1 − Λ)
+        //   Σ_{s>t} s·Λ^s         = Λ^{t+1}·( (t+1)/(1−Λ) + Λ/(1−Λ)² )
+        let tail_eu = lambda_pow * lambda / one_minus;
+        let tail_a =
+            lambda_pow * lambda * ((t + 1) as f64 / one_minus + lambda / (one_minus * one_minus));
+        if (tail_eu <= epsilon && tail_a <= epsilon) || t >= MAX_SERIES_TERMS {
+            break;
+        }
+        lambda_pow *= lambda;
+        t += 1;
+    }
+
+    let p_plus = eu / (1.0 + eu);
+    let e_c = a * (1.0 - p_plus) / (1.0 + eu);
+    GroupQuantities { eu, a, p_plus, e_c, can_fail: true, terms_evaluated: t }
+}
+
+/// Incremental, mergeable state of one truncated-series evaluation: the
+/// per-`t` joint products `P^(S)_{u →t→ u}` and the running `Λ = Π λ₁`,
+/// alongside the set's [`GroupQuantities`].
+///
+/// Extending a set by one worker re-runs the truncation loop over the stored
+/// products, so it costs O(terms) instead of the O(terms × |S|) of a batch
+/// [`GroupComputation::compute`]. The stored products are the exact left-fold
+/// prefixes of the batch product, so an accumulator built by extending workers
+/// in slice order yields quantities **bit-identical** to the batch evaluation
+/// of that slice — the `EvalCache` keys prefix accumulators on this guarantee
+/// without perturbing any cached value.
+///
+/// Because `Λ` only shrinks under extension and merging (every `λ₁ ≤ 1`) and
+/// the tail bounds grow with `Λ`, a derived series never needs more terms than
+/// its inputs stored: the base's `joint` array always suffices.
+///
+/// Only sets that can fail have a truncated series: [`GroupAccumulator::extend`]
+/// returns `None` when the extended set cannot fail (callers fall back to the
+/// first-return recurrence of [`GroupComputation::compute`]).
+#[derive(Debug, Clone)]
+pub struct GroupAccumulator {
+    /// `joint[i] = P^(S)_{u →(i+1)→ u}` for `t = 1..=terms_evaluated`.
+    joint: Vec<f64>,
+    /// Raw (un-capped) `Π_q λ₁^(q)`.
+    raw_lambda: f64,
+    /// Number of workers folded in.
+    members: usize,
+    quantities: GroupQuantities,
+    epsilon: f64,
+}
+
+impl GroupAccumulator {
+    /// The accumulator of the empty set: the starting point of every chain.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` lies in `(0, 1)`.
+    pub fn empty(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "precision must lie in (0, 1)");
+        GroupAccumulator {
+            joint: Vec::new(),
+            raw_lambda: 1.0,
+            members: 0,
+            quantities: GroupQuantities::empty(),
+            epsilon,
+        }
+    }
+
+    /// The group quantities of the accumulated set.
+    pub fn quantities(&self) -> GroupQuantities {
+        self.quantities
+    }
+
+    /// Number of workers folded into this accumulator.
+    pub fn num_members(&self) -> usize {
+        self.members
+    }
+
+    /// `true` if no worker has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// Number of per-`t` joint products currently stored (the memory cost of
+    /// keeping this accumulator around).
+    pub fn stored_terms(&self) -> usize {
+        self.joint.len()
+    }
+
+    /// The series-truncation precision `ε` this accumulator was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Extend the accumulated set by one worker in O(stored terms), or `None`
+    /// if the extended set cannot fail (its quantities come from the
+    /// first-return recurrence, which this accumulator does not model).
+    pub fn extend(&self, worker: &WorkerSeries) -> Option<GroupAccumulator> {
+        if !(self.quantities.can_fail || worker.can_fail()) {
+            return None;
+        }
+        let raw_lambda = self.raw_lambda * worker.lambda1();
+        let base = &self.joint;
+        let base_is_empty = self.members == 0;
+        let mut joint = Vec::with_capacity(if base_is_empty { 64 } else { base.len() });
+        let quantities = run_series(
+            self.epsilon,
+            raw_lambda,
+            |t| {
+                // The stored prefix product is the exact left fold of the base
+                // slice; multiplying the new worker last reproduces the batch
+                // fold `(..((1·u₁)·u₂)..)·u_k` bitwise.
+                let prefix = if base_is_empty { 1.0 } else { base[(t - 1) as usize] };
+                prefix * worker.up_to_up(t)
+            },
+            |p| joint.push(p),
+        );
+        Some(GroupAccumulator {
+            joint,
+            raw_lambda,
+            members: self.members + 1,
+            quantities,
+            epsilon: self.epsilon,
+        })
+    }
+
+    /// Merge two accumulators over **disjoint** member sets (a caller
+    /// contract — the accumulator stores no member identities) in
+    /// O(min of the stored terms).
+    ///
+    /// Unlike [`GroupAccumulator::extend`], a merge folds the two joint
+    /// products in a different association order than a batch evaluation of
+    /// the union, so the result agrees with the batch value only to floating
+    /// rounding (well within `1e-12` in practice), not bit for bit.
+    ///
+    /// # Panics
+    /// Panics if the two accumulators were built with different precisions.
+    pub fn merge(&self, other: &GroupAccumulator) -> Option<GroupAccumulator> {
+        assert!(
+            self.epsilon == other.epsilon,
+            "merged accumulators must share a truncation precision"
+        );
+        if self.members == 0 {
+            return Some(other.clone());
+        }
+        if other.members == 0 {
+            return Some(self.clone());
+        }
+        // Both sides are non-empty series accumulators, so both can fail and
+        // so can the union.
+        let raw_lambda = self.raw_lambda * other.raw_lambda;
+        let (a, b) = (&self.joint, &other.joint);
+        let mut joint = Vec::with_capacity(a.len().min(b.len()));
+        let quantities = run_series(
+            self.epsilon,
+            raw_lambda,
+            |t| a[(t - 1) as usize] * b[(t - 1) as usize],
+            |p| joint.push(p),
+        );
+        Some(GroupAccumulator {
+            joint,
+            raw_lambda,
+            members: self.members + other.members,
+            quantities,
+            epsilon: self.epsilon,
+        })
     }
 }
 
@@ -391,5 +567,84 @@ mod tests {
     #[should_panic]
     fn invalid_epsilon_rejected() {
         let _ = GroupComputation::new(0.0);
+    }
+
+    #[test]
+    fn accumulator_extension_matches_batch_bit_for_bit() {
+        let comp = GroupComputation::default();
+        let workers = [
+            series(0.95, 0.92, 0.9),
+            series(0.93, 0.96, 0.94),
+            series(0.9, 0.9, 0.9),
+            series(0.97, 0.91, 0.95),
+        ];
+        let mut acc = GroupAccumulator::empty(comp.epsilon());
+        assert!(acc.is_empty());
+        assert_eq!(acc.quantities(), GroupQuantities::empty());
+        for k in 1..=workers.len() {
+            acc = acc.extend(&workers[k - 1]).expect("all workers can fail");
+            let refs: Vec<&WorkerSeries> = workers[..k].iter().collect();
+            let batch = comp.compute(&refs);
+            // Same fold order, same truncation loop: exact equality, not just
+            // closeness. The EvalCache's prefix chains rely on this.
+            assert_eq!(acc.quantities(), batch);
+            assert_eq!(acc.num_members(), k);
+            assert_eq!(acc.stored_terms() as u64, batch.terms_evaluated);
+        }
+        let chained = comp.accumulate(&workers.iter().collect::<Vec<_>>()).unwrap();
+        assert_eq!(chained.quantities(), acc.quantities());
+    }
+
+    #[test]
+    fn accumulator_merge_agrees_with_batch_within_tolerance() {
+        let comp = GroupComputation::default();
+        let left = [series(0.95, 0.92, 0.9), series(0.96, 0.93, 0.91)];
+        let right = [series(0.93, 0.96, 0.94), series(0.9, 0.9, 0.9)];
+        let l = comp.accumulate(&left.iter().collect::<Vec<_>>()).unwrap();
+        let r = comp.accumulate(&right.iter().collect::<Vec<_>>()).unwrap();
+        let merged = l.merge(&r).expect("both sides can fail");
+        assert_eq!(merged.num_members(), 4);
+        let all: Vec<&WorkerSeries> = left.iter().chain(right.iter()).collect();
+        let batch = comp.compute(&all);
+        assert!((merged.quantities().eu - batch.eu).abs() <= 1e-12 * (1.0 + batch.eu.abs()));
+        assert!((merged.quantities().a - batch.a).abs() <= 1e-12 * (1.0 + batch.a.abs()));
+        assert!((merged.quantities().p_plus - batch.p_plus).abs() <= 1e-12);
+        assert!((merged.quantities().e_c - batch.e_c).abs() <= 1e-12 * (1.0 + batch.e_c.abs()));
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty_is_identity() {
+        let comp = GroupComputation::default();
+        let acc = comp.accumulate(&[&series(0.95, 0.92, 0.9)]).unwrap();
+        let empty = GroupAccumulator::empty(comp.epsilon());
+        let a = acc.merge(&empty).unwrap();
+        let b = empty.merge(&acc).unwrap();
+        assert_eq!(a.quantities(), acc.quantities());
+        assert_eq!(b.quantities(), acc.quantities());
+    }
+
+    #[test]
+    fn accumulator_rejects_sets_that_cannot_fail() {
+        let always_up = WorkerSeries::new(&MarkovChain3::always_up());
+        let empty = GroupAccumulator::empty(1e-7);
+        assert!(empty.extend(&always_up).is_none());
+
+        // Reclaim-only workers use the recurrence, not the series.
+        let chain = MarkovChain3::new(dg_availability::Matrix3::new([
+            [0.9, 0.1, 0.0],
+            [0.3, 0.7, 0.0],
+            [0.0, 0.0, 1.0],
+        ]))
+        .unwrap();
+        let reclaim_only = WorkerSeries::new(&chain);
+        assert!(empty.extend(&reclaim_only).is_none());
+        assert!(GroupComputation::default().accumulate(&[&reclaim_only]).is_none());
+
+        // But a can-fail base absorbs no-fail extensions fine.
+        let failing = series(0.95, 0.92, 0.9);
+        let base = empty.extend(&failing).unwrap();
+        let mixed = base.extend(&reclaim_only).expect("the union can still fail");
+        let batch = GroupComputation::default().compute(&[&failing, &reclaim_only]);
+        assert_eq!(mixed.quantities(), batch);
     }
 }

@@ -46,7 +46,7 @@ pub mod streaming;
 pub use comm::CommEstimate;
 pub use criteria::{apparent_yield, yield_metric, IterationEstimate};
 pub use estimator::{Estimator, EvalCache, EvalCacheStats, PlatformTables};
-pub use group::{GroupComputation, GroupQuantities};
+pub use group::{GroupAccumulator, GroupComputation, GroupQuantities};
 pub use series::WorkerSeries;
 pub use streaming::{OnlineStats, ScenarioAccumulator, StreamingComparison, TrialTally};
 

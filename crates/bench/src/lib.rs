@@ -15,6 +15,7 @@
 //! | `sensitivity` | Section VII-B extension | Markov vs semi-Markov availability runs |
 //! | `engine_event_vs_slot` | Section III substrate | event-driven vs slot-stepped engine on identical workloads |
 //! | `campaign_throughput` | Section VII harness | sharded executor (one availability realization per trial) vs per-instance realization |
+//! | `scaling` | scaling layer (ablation) | indexed-scan decision cost vs platform size, `p` up to 20 000; writes `BENCH_scaling.json` |
 //!
 //! The criterion benches intentionally run *scaled-down slices* so that
 //! `cargo bench --workspace` completes on a single core; the full tables and

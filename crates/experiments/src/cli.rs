@@ -7,8 +7,10 @@
 //! --trials N       availability realizations per scenario    [default 3]
 //! --cap N          slot cap per run                          [default 200000]
 //! --suite S        scenario suite: a preset name (paper,
-//!                  volatile, largegrid, commbound) or a
-//!                  suite file path                           [default paper]
+//!                  volatile, largegrid, commbound, massive)
+//!                  or a suite file path                      [default paper]
+//! --workers N      platform size override (e.g. a reduced
+//!                  massive smoke run)                        [default: suite's]
 //! --ncom LIST      comma-separated ncom values               [default: suite's]
 //! --wmin LIST      comma-separated wmin values               [default: suite's]
 //! --heuristics L   comma-separated heuristic names to run
@@ -41,6 +43,8 @@ pub struct CliOptions {
     pub max_slots: u64,
     /// Scenario suite (`--suite NAME|FILE`); `None` = the `paper` preset.
     pub suite: Option<String>,
+    /// Platform-size override (`--workers N`); `None` = the suite's size.
+    pub workers: Option<usize>,
     /// `ncom` values to sweep; `None` = the suite's values.
     pub ncom_values: Option<Vec<usize>>,
     /// `wmin` values to sweep; `None` = the suite's values.
@@ -70,6 +74,7 @@ impl Default for CliOptions {
             trials: 3,
             max_slots: 200_000,
             suite: None,
+            workers: None,
             ncom_values: None,
             wmin_values: None,
             heuristics: None,
@@ -106,6 +111,7 @@ impl CliOptions {
                 "--threads" => opts.threads = parse_num(&take(arg)?, arg)?,
                 "--seed" => opts.seed = parse_num(&take(arg)?, arg)?,
                 "--suite" => opts.suite = Some(take(arg)?),
+                "--workers" => opts.workers = Some(parse_num(&take(arg)?, arg)?),
                 "--ncom" => opts.ncom_values = Some(parse_list(&take(arg)?, arg)?),
                 "--engine" => opts.engine = take(arg)?.parse()?,
                 "--wmin" => opts.wmin_values = Some(parse_list(&take(arg)?, arg)?),
@@ -130,6 +136,9 @@ impl CliOptions {
         }
         if opts.resume && opts.out.is_none() {
             return Err("--resume requires --out".to_string());
+        }
+        if opts.workers == Some(0) {
+            return Err("--workers must be positive".to_string());
         }
         Ok(opts)
     }
@@ -156,6 +165,9 @@ impl CliOptions {
     /// unresolvable `--suite`.
     pub fn campaign(&self) -> Result<CampaignConfig, String> {
         let mut config = self.suite()?.campaign(self.scenarios, self.trials, self.max_slots);
+        if let Some(workers) = self.workers {
+            config.num_workers = workers;
+        }
         if let Some(ncom) = &self.ncom_values {
             config.ncom_values = ncom.clone();
         }
@@ -243,9 +255,10 @@ fn parse_heuristics(value: &str) -> Result<Vec<HeuristicSpec>, String> {
 
 fn help_text() -> String {
     "usage: <binary> [--scenarios N] [--trials N] [--cap N] \
-     [--suite paper|volatile|largegrid|commbound|FILE] [--ncom a,b,c] \
-     [--wmin a,b,c] [--heuristics NAME[,NAME...]] [--threads N (0 = auto)] \
-     [--seed N] [--engine slot|event] [--out DIR] [--resume] [--full] [--quiet]"
+     [--suite paper|volatile|largegrid|commbound|massive|FILE] [--workers N] \
+     [--ncom a,b,c] [--wmin a,b,c] [--heuristics NAME[,NAME...]] \
+     [--threads N (0 = auto)] [--seed N] [--engine slot|event] [--out DIR] \
+     [--resume] [--full] [--quiet]"
         .to_string()
 }
 
@@ -439,6 +452,17 @@ mod tests {
 
         // Unknown suites fail with the preset list in the message.
         let err = CliOptions::parse(["--suite", "warp"]).unwrap().campaign().unwrap_err();
-        assert!(err.contains("paper, volatile, largegrid, commbound"), "{err}");
+        assert!(err.contains("paper, volatile, largegrid, commbound, massive"), "{err}");
+    }
+
+    #[test]
+    fn workers_flag_overrides_the_suite_platform_size() {
+        let massive = CliOptions::parse(["--suite", "massive"]).unwrap().campaign().unwrap();
+        assert_eq!(massive.num_workers, 20_000);
+        let reduced =
+            CliOptions::parse(["--suite", "massive", "--workers", "600"]).unwrap().campaign();
+        assert_eq!(reduced.unwrap().num_workers, 600);
+        assert!(CliOptions::parse(["--workers", "0"]).is_err());
+        assert!(CliOptions::parse(["--workers"]).is_err());
     }
 }

@@ -37,7 +37,7 @@ use dg_platform::generator::{
 use serde::{Deserialize, Serialize};
 
 /// Names of the shipped suite presets, in registry order.
-pub const PRESET_NAMES: [&str; 4] = ["paper", "volatile", "largegrid", "commbound"];
+pub const PRESET_NAMES: [&str; 5] = ["paper", "volatile", "largegrid", "commbound", "massive"];
 
 /// A named scenario suite: factorial axes plus a generator model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,6 +122,29 @@ impl SuiteSpec {
         }
     }
 
+    /// The *massive* suite: a desktop-grid-scale fleet of 20 000 workers
+    /// built from a few profiles — clustered speeds (30 % fast, the rest 8×
+    /// slower) and 16 pooled availability classes — running a larger
+    /// application (`m = 50`) for a few iterations. The pooled classes make
+    /// worker-class bucketing and group-set memoization effective, which is
+    /// what lets scheduling decisions complete at this scale (the `scaling`
+    /// bench charts it); use `--workers` to shrink the fleet for smoke runs.
+    pub fn massive() -> SuiteSpec {
+        SuiteSpec {
+            name: "massive".to_string(),
+            workers: 20_000,
+            iterations: 3,
+            m_values: vec![50],
+            ncom_values: vec![50],
+            wmin_values: vec![1],
+            model: ScenarioModel {
+                speeds: SpeedProfile::Clustered { fast_fraction: 0.3, slow_factor: 8 },
+                availability: AvailabilityRegime::Pooled { classes: 16 },
+                ..ScenarioModel::paper()
+            },
+        }
+    }
+
     /// Look a preset up by name.
     pub fn preset(name: &str) -> Option<SuiteSpec> {
         match name {
@@ -129,6 +152,7 @@ impl SuiteSpec {
             "volatile" => Some(SuiteSpec::volatile()),
             "largegrid" => Some(SuiteSpec::largegrid()),
             "commbound" => Some(SuiteSpec::commbound()),
+            "massive" => Some(SuiteSpec::massive()),
             _ => None,
         }
     }
@@ -370,6 +394,7 @@ pub fn availability_spec(regime: &AvailabilityRegime) -> String {
         AvailabilityRegime::Volatile => "volatile".to_string(),
         AvailabilityRegime::Stable => "stable".to_string(),
         AvailabilityRegime::SelfLoops { lo, hi } => format!("selfloop({lo:?},{hi:?})"),
+        AvailabilityRegime::Pooled { classes } => format!("pooled({classes})"),
     }
 }
 
@@ -384,8 +409,10 @@ pub fn parse_availability(value: &str) -> Result<AvailabilityRegime, String> {
             lo: arg(&args, 0, "a probability")?,
             hi: arg(&args, 1, "a probability")?,
         }),
+        "pooled" => Ok(AvailabilityRegime::Pooled { classes: arg(&args, 0, "a class count")? }),
         other => Err(format!(
-            "unknown availability regime '{other}' (expected paper, volatile, stable or selfloop)"
+            "unknown availability regime '{other}' (expected paper, volatile, stable, selfloop \
+             or pooled)"
         )),
     }
 }
@@ -484,6 +511,11 @@ pub fn validate_model(model: &ScenarioModel) -> Result<(), String> {
     if !(0.0..1.0).contains(&lo) || !(0.0..1.0).contains(&hi) || lo > hi {
         return Err(format!("self-loop range [{lo}, {hi}] must satisfy 0 <= lo <= hi < 1"));
     }
+    if let AvailabilityRegime::Pooled { classes } = model.availability {
+        if classes == 0 {
+            return Err("pooled availability needs at least one class".to_string());
+        }
+    }
     if let TrialModel::SemiMarkov { shape } = model.trials {
         if !shape.is_finite() || shape <= 0.0 {
             return Err(format!("semi-Markov shape {shape} must be positive"));
@@ -565,6 +597,11 @@ mod tests {
         assert!(SuiteSpec::parse("suite x\nspeeds warp\n").unwrap_err().contains("speed profile"));
         assert!(SuiteSpec::parse("suite x\nspeeds clustered(2.0,4)\n").is_err());
         assert!(SuiteSpec::parse("suite x\navailability selfloop(0.9,0.5)\n").is_err());
+        assert!(SuiteSpec::parse("suite x\navailability pooled(0)\n").is_err());
+        assert_eq!(
+            SuiteSpec::parse("suite x\navailability pooled(16)\n").unwrap().model.availability,
+            AvailabilityRegime::Pooled { classes: 16 }
+        );
         assert!(SuiteSpec::parse("suite x\ntrials semi(-1)\n").is_err());
         assert!(SuiteSpec::parse("suite x\napp 5-1\n").is_err());
         assert!(SuiteSpec::parse("suite x\nspeeds uniform(4\n").is_err());

@@ -14,6 +14,7 @@
 //! estimator are already sorted, so the cache looks them up without building
 //! a key.
 
+use crate::index::ScanStrategy;
 use dg_analysis::{Estimator, EvalCache, IterationEstimate};
 use dg_sim::config::ActiveConfiguration;
 use dg_sim::view::SimView;
@@ -24,6 +25,7 @@ use dg_sim::view::SimView;
 pub struct SchedulingContext {
     estimator: Option<Estimator>,
     epsilon: f64,
+    scan: ScanStrategy,
     // Scratch buffers reused by evaluate/evaluate_remaining so that probing a
     // candidate allocates nothing.
     members: Vec<usize>,
@@ -39,6 +41,7 @@ impl SchedulingContext {
         SchedulingContext {
             estimator: None,
             epsilon,
+            scan: ScanStrategy::Auto,
             members: Vec::new(),
             tasks: Vec::new(),
             comm: Vec::new(),
@@ -58,10 +61,22 @@ impl SchedulingContext {
         SchedulingContext {
             epsilon: cache.tables().epsilon(),
             estimator: Some(Estimator::from_cache(cache)),
+            scan: ScanStrategy::Auto,
             members: Vec::new(),
             tasks: Vec::new(),
             comm: Vec::new(),
         }
+    }
+
+    /// How [`crate::passive::build_incremental`] enumerates candidate workers
+    /// when driven through this context.
+    pub fn scan_strategy(&self) -> ScanStrategy {
+        self.scan
+    }
+
+    /// Override the candidate-scan strategy (default: [`ScanStrategy::Auto`]).
+    pub fn set_scan_strategy(&mut self, strategy: ScanStrategy) {
+        self.scan = strategy;
     }
 
     /// Access the estimator, creating it (with a private cache) from the

@@ -54,6 +54,7 @@
 
 pub mod candidate;
 pub mod context;
+pub mod index;
 pub mod passive;
 pub mod proactive;
 pub mod random;
@@ -61,6 +62,7 @@ pub mod registry;
 
 pub use candidate::CandidateConfig;
 pub use context::SchedulingContext;
+pub use index::{ScanStrategy, WorkerIndex, INDEX_THRESHOLD};
 pub use passive::{PassiveKind, PassiveScheduler};
 pub use proactive::{ProactiveCriterion, ProactiveScheduler};
 pub use random::RandomScheduler;

@@ -74,7 +74,26 @@ impl std::str::FromStr for PassiveKind {
 /// `kind.score(...)`; ties are broken toward the lowest worker index. Returns
 /// `None` when the `UP` workers cannot hold all `m` tasks (the scheduler then
 /// waits for more workers to come back `UP`).
+///
+/// Candidate workers are enumerated either by the reference exhaustive scan
+/// or through the bucketed [`crate::index::WorkerIndex`], as selected by the
+/// context's [`crate::index::ScanStrategy`] — by default the index engages
+/// only above [`crate::index::INDEX_THRESHOLD`] workers, where rescanning the
+/// whole platform per task is the dominant cost.
 pub fn build_incremental(
+    context: &mut SchedulingContext,
+    view: &SimView<'_>,
+    kind: PassiveKind,
+) -> Option<Assignment> {
+    if crate::index::use_indexed_scan(context.scan_strategy(), view.platform.num_workers()) {
+        build_incremental_indexed(context, view, kind)
+    } else {
+        build_incremental_exhaustive(context, view, kind)
+    }
+}
+
+/// The reference scan: every `UP` worker is probed for every task.
+pub fn build_incremental_exhaustive(
     context: &mut SchedulingContext,
     view: &SimView<'_>,
     kind: PassiveKind,
@@ -113,6 +132,57 @@ pub fn build_incremental(
     Some(candidate.to_assignment())
 }
 
+/// The indexed scan: `UP` workers are bucketed into equivalence classes once,
+/// then each task probes one representative per class plus the occupied
+/// workers — `O(classes + occupied)` evaluations instead of `O(p)`.
+///
+/// Selects the same worker as [`build_incremental_exhaustive`] whenever
+/// same-class scores are bitwise equal (interchangeable workers probed at the
+/// same position of the partial configuration), because the candidate list
+/// always contains the exhaustive winner or a lower-indexed worker of its
+/// class with an identical score, and the ascending strict-`>` probe then
+/// settles on that same lowest index.
+pub fn build_incremental_indexed(
+    context: &mut SchedulingContext,
+    view: &SimView<'_>,
+    kind: PassiveKind,
+) -> Option<Assignment> {
+    let m = view.application.tasks_per_iteration;
+    let mut index = crate::index::WorkerIndex::build(view);
+    if index.up_workers() == 0 {
+        return None;
+    }
+    let elapsed = view.elapsed_in_iteration();
+    let mut candidate = CandidateConfig::new(view.platform.num_workers());
+    let mut probe: Vec<usize> = Vec::new();
+
+    for _ in 0..m {
+        index.candidates_into(candidate.occupied(), &mut probe);
+        let mut best: Option<(usize, f64)> = None;
+        for &q in &probe {
+            if !view.platform.worker(q).can_hold(candidate.tasks_of(q) + 1) {
+                continue;
+            }
+            candidate.add_task(q);
+            let estimate = context.evaluate(view, candidate.entries());
+            let score = kind.score(&estimate, elapsed);
+            candidate.remove_task(q);
+            let better = match best {
+                None => true,
+                Some((_, best_score)) => score > best_score,
+            };
+            if better {
+                best = Some((q, score));
+            }
+        }
+        match best {
+            Some((q, _)) => candidate.add_task(q),
+            None => return None, // no candidate can take another task
+        }
+    }
+    Some(candidate.to_assignment())
+}
+
 /// A passive scheduler: selects a configuration with [`build_incremental`]
 /// only when no configuration is active.
 #[derive(Debug)]
@@ -140,7 +210,10 @@ impl PassiveScheduler {
         PassiveScheduler::with_context(kind, SchedulingContext::with_cache(cache))
     }
 
-    fn with_context(kind: PassiveKind, context: SchedulingContext) -> Self {
+    /// Create a passive scheduler around an explicit, possibly pre-configured
+    /// context (e.g. one with a forced
+    /// [`crate::index::ScanStrategy`]).
+    pub fn with_context(kind: PassiveKind, context: SchedulingContext) -> Self {
         PassiveScheduler { kind, context, name: kind.paper_name().to_string() }
     }
 

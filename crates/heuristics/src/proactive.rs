@@ -114,7 +114,10 @@ impl ProactiveScheduler {
         ProactiveScheduler::with_context(criterion, base, SchedulingContext::with_cache(cache))
     }
 
-    fn with_context(
+    /// Create the proactive scheduler `criterion-base` around an explicit,
+    /// possibly pre-configured context (e.g. one with a forced
+    /// [`crate::index::ScanStrategy`]).
+    pub fn with_context(
         criterion: ProactiveCriterion,
         base: PassiveKind,
         context: SchedulingContext,

@@ -126,13 +126,25 @@ pub enum AvailabilityRegime {
         /// Upper bound of the self-loop probabilities.
         hi: f64,
     },
+    /// A pool of `classes` distinct chains spread evenly over the paper's
+    /// `[0.90, 0.99]` self-loop range; each worker draws its class uniformly
+    /// and all workers of a class share one chain *bitwise*. Models massive
+    /// grids built from a few hardware/uptime profiles, and is what makes
+    /// availability-class bucketing (the `dg-heuristics` worker index) and
+    /// group-set memoization effective at `10⁴–10⁵` workers.
+    Pooled {
+        /// Number of distinct chains in the pool (`≥ 1`).
+        classes: usize,
+    },
 }
 
 impl AvailabilityRegime {
-    /// The `[lo, hi]` range the three self-loop probabilities are drawn from.
+    /// The `[lo, hi]` range the three self-loop probabilities are drawn from
+    /// (for [`AvailabilityRegime::Pooled`], the open range the pool's chains
+    /// are spread over).
     pub fn self_loop_range(&self) -> (f64, f64) {
         match *self {
-            AvailabilityRegime::Paper => (0.90, 0.99),
+            AvailabilityRegime::Paper | AvailabilityRegime::Pooled { .. } => (0.90, 0.99),
             AvailabilityRegime::Volatile => (0.60, 0.85),
             AvailabilityRegime::Stable => (0.995, 0.999),
             AvailabilityRegime::SelfLoops { lo, hi } => (lo, hi),
@@ -141,8 +153,23 @@ impl AvailabilityRegime {
 
     /// Sample one worker's availability chain.
     pub fn sample_chain<R: Rng + ?Sized>(&self, rng: &mut R) -> MarkovChain3 {
-        let (lo, hi) = self.self_loop_range();
-        MarkovChain3::sample_self_loops_in(lo, hi, rng)
+        match *self {
+            AvailabilityRegime::Pooled { classes } => {
+                let classes = classes.max(1);
+                let idx = rng.gen_range(0..classes);
+                let (lo, hi) = self.self_loop_range();
+                // Deterministic interpolation strictly inside (lo, hi): class
+                // membership is the only random draw, so two workers of one
+                // class get byte-identical chains.
+                let s = lo + (hi - lo) * (idx as f64 + 1.0) / (classes as f64 + 1.0);
+                MarkovChain3::from_self_loop_probs(s, s, s)
+                    .expect("pooled self-loops lie strictly inside (0.90, 0.99)")
+            }
+            _ => {
+                let (lo, hi) = self.self_loop_range();
+                MarkovChain3::sample_self_loops_in(lo, hi, rng)
+            }
+        }
     }
 }
 
@@ -356,6 +383,7 @@ mod tests {
             AvailabilityRegime::Volatile,
             AvailabilityRegime::Stable,
             AvailabilityRegime::SelfLoops { lo: 0.7, hi: 0.9 },
+            AvailabilityRegime::Pooled { classes: 4 },
         ] {
             let (lo, hi) = regime.self_loop_range();
             for _ in 0..50 {
@@ -365,6 +393,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pooled_regime_draws_from_a_finite_bitwise_identical_pool() {
+        let mut rng = rng_from_seed(6);
+        let regime = AvailabilityRegime::Pooled { classes: 3 };
+        let mut seen: Vec<u64> = Vec::new();
+        for _ in 0..200 {
+            let chain = regime.sample_chain(&mut rng);
+            let bits = chain.prob(ProcState::Up, ProcState::Up).to_bits();
+            if !seen.contains(&bits) {
+                seen.push(bits);
+            }
+        }
+        assert_eq!(seen.len(), 3, "200 draws over 3 classes must hit exactly 3 chains");
+        // A degenerate pool is clamped to one class rather than panicking.
+        let one = AvailabilityRegime::Pooled { classes: 0 };
+        let a = one.sample_chain(&mut rng);
+        let b = one.sample_chain(&mut rng);
+        assert_eq!(
+            a.prob(ProcState::Up, ProcState::Up).to_bits(),
+            b.prob(ProcState::Up, ProcState::Up).to_bits()
+        );
     }
 
     #[test]

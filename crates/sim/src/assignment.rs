@@ -19,17 +19,16 @@ impl Assignment {
     /// merged. The result is kept sorted by worker index so that assignments
     /// can be compared structurally.
     pub fn new(entries: impl IntoIterator<Item = (usize, usize)>) -> Self {
-        let mut merged: Vec<(usize, usize)> = Vec::new();
-        for (q, x) in entries {
-            if x == 0 {
-                continue;
-            }
-            match merged.iter_mut().find(|(w, _)| *w == q) {
-                Some((_, count)) => *count += x,
-                None => merged.push((q, x)),
-            }
-        }
+        let mut merged: Vec<(usize, usize)> = entries.into_iter().filter(|&(_, x)| x > 0).collect();
         merged.sort_unstable_by_key(|&(q, _)| q);
+        merged.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 += later.1;
+                true
+            } else {
+                false
+            }
+        });
         Assignment { entries: merged }
     }
 
@@ -45,12 +44,23 @@ impl Assignment {
 
     /// Enrolled worker indices, sorted.
     pub fn members(&self) -> Vec<usize> {
-        self.entries.iter().map(|&(q, _)| q).collect()
+        self.members_iter().collect()
+    }
+
+    /// Enrolled worker indices, sorted, without allocating.
+    pub fn members_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&(q, _)| q)
     }
 
     /// Task counts in the same order as [`Assignment::members`].
     pub fn task_counts(&self) -> Vec<usize> {
-        self.entries.iter().map(|&(_, x)| x).collect()
+        self.task_counts_iter().collect()
+    }
+
+    /// Task counts in the same order as [`Assignment::members_iter`], without
+    /// allocating.
+    pub fn task_counts_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&(_, x)| x)
     }
 
     /// Number of enrolled workers `k`.
@@ -65,7 +75,7 @@ impl Assignment {
 
     /// Task count assigned to worker `q` (0 if not enrolled).
     pub fn tasks_of(&self, q: usize) -> usize {
-        self.entries.iter().find(|&&(w, _)| w == q).map_or(0, |&(_, x)| x)
+        self.entries.binary_search_by_key(&q, |&(w, _)| w).map_or(0, |i| self.entries[i].1)
     }
 
     /// `true` if worker `q` is enrolled.
@@ -142,11 +152,17 @@ mod tests {
         assert_eq!(a.entries(), &[(1, 2), (3, 2)]);
         assert_eq!(a.members(), vec![1, 3]);
         assert_eq!(a.task_counts(), vec![2, 2]);
+        assert_eq!(a.members_iter().collect::<Vec<_>>(), a.members());
+        assert_eq!(a.task_counts_iter().collect::<Vec<_>>(), a.task_counts());
         assert_eq!(a.total_tasks(), 4);
         assert_eq!(a.tasks_of(1), 2);
         assert_eq!(a.tasks_of(0), 0);
         assert!(a.contains(3));
         assert!(!a.contains(0));
+
+        // Runs of more than two duplicates merge into one entry.
+        let b = Assignment::new([(5, 1), (5, 2), (2, 1), (5, 3)]);
+        assert_eq!(b.entries(), &[(2, 1), (5, 6)]);
     }
 
     #[test]

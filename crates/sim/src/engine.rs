@@ -25,7 +25,7 @@ use crate::events::{EventKind, EventLog};
 use crate::metrics::{SimOutcome, SimStats};
 use crate::queue::{WakeEvent, WakeQueue};
 use crate::view::{Decision, Scheduler, SimView, WorkerView};
-use crate::worker_state::WorkerDynamicState;
+use crate::worker_state::WorkerStateTable;
 use dg_availability::trace::AvailabilityModel;
 use dg_availability::ProcState;
 use dg_platform::{ApplicationSpec, MasterSpec, Platform, Scenario};
@@ -175,7 +175,9 @@ type CachedTransition = Option<Option<(u64, ProcState)>>;
 
 /// Mutable per-run state shared by both engine modes.
 struct RunState {
-    dynamic: Vec<WorkerDynamicState>,
+    /// Per-worker holdings in struct-of-arrays layout: per-slot sweeps touch
+    /// one field of every worker, not every field of one worker.
+    dynamic: WorkerStateTable,
     current: Option<ActiveConfiguration>,
     stats: SimStats,
     completed: u64,
@@ -186,6 +188,10 @@ struct RunState {
     /// Workers served during the last communication slot (scratch buffer;
     /// the event engine uses it to bulk-advance skipped transfer slots).
     served: Vec<usize>,
+    /// Per-slot scheduler view of the fleet (scratch buffer, rebuilt each
+    /// executed slot — at 10⁴–10⁵ workers a fresh allocation per slot would
+    /// dominate the engine).
+    views: Vec<WorkerView>,
 }
 
 /// The discrete-event simulator.
@@ -284,7 +290,7 @@ impl<A: AvailabilityModel> Simulator<A> {
     ) -> (SimOutcome, EventLog, EngineReport) {
         let p = self.platform.num_workers();
         let mut st = RunState {
-            dynamic: vec![WorkerDynamicState::fresh(); p],
+            dynamic: WorkerStateTable::fresh(p),
             current: None,
             stats: SimStats::default(),
             completed: 0,
@@ -293,6 +299,7 @@ impl<A: AvailabilityModel> Simulator<A> {
             states: vec![ProcState::Up; p],
             log: if self.log_events { EventLog::enabled() } else { EventLog::disabled() },
             served: Vec::new(),
+            views: Vec::with_capacity(p),
         };
         st.log.push(0, EventKind::IterationStarted { iteration: 0 });
 
@@ -386,7 +393,7 @@ impl<A: AvailabilityModel> Simulator<A> {
                 let idle = st.current.is_none();
                 for (q, cached) in relevance_cache.iter_mut().enumerate() {
                     let member = st.current.as_ref().is_some_and(|cfg| cfg.assignment.contains(q));
-                    let holds_anything = st.dynamic[q] != WorkerDynamicState::fresh();
+                    let holds_anything = st.dynamic.holds_anything(q);
                     let ctx = usize::from(member)
                         | usize::from(idle) << 1
                         | usize::from(holds_anything) << 2;
@@ -436,7 +443,7 @@ impl<A: AvailabilityModel> Simulator<A> {
                         // their (unfinished) in-flight message.
                         st.stats.transfer_slots += skipped * st.served.len() as u64;
                         for &q in &st.served {
-                            st.dynamic[q].partial_transfer += skipped;
+                            st.dynamic.add_partial_transfer(q, skipped);
                         }
                     }
                     SlotPhase::Idle => st.stats.idle_slots += skipped,
@@ -539,13 +546,13 @@ impl<A: AvailabilityModel> Simulator<A> {
         //    iteration restarts from scratch.
         for q in 0..p {
             if st.states[q].is_down() {
-                st.dynamic[q].crash();
+                st.dynamic.crash(q);
             }
         }
         if let Some(cfg) = &st.current {
-            let failed: Vec<usize> =
-                cfg.assignment.members().into_iter().filter(|&q| st.states[q].is_down()).collect();
-            if !failed.is_empty() {
+            if cfg.assignment.members_iter().any(|q| st.states[q].is_down()) {
+                let failed: Vec<usize> =
+                    cfg.assignment.members_iter().filter(|&q| st.states[q].is_down()).collect();
                 st.stats.iterations_aborted += 1;
                 st.log.push(t, EventKind::IterationAborted { failed_workers: failed });
                 st.current = None;
@@ -553,15 +560,16 @@ impl<A: AvailabilityModel> Simulator<A> {
         }
 
         // 3. Ask the scheduler what to do.
-        let worker_views: Vec<WorkerView> =
-            (0..p).map(|q| WorkerView { state: st.states[q], dynamic: st.dynamic[q] }).collect();
+        st.views.clear();
+        let (states, dynamic, views) = (&st.states, &st.dynamic, &mut st.views);
+        views.extend((0..p).map(|q| WorkerView { state: states[q], dynamic: dynamic.get(q) }));
         let decision = {
             let view = SimView {
                 time: t,
                 iteration: st.completed,
                 completed_iterations: st.completed,
                 iteration_started_at: st.iteration_started_at,
-                workers: &worker_views,
+                workers: &st.views,
                 platform: &self.platform,
                 application: &self.application,
                 master: &self.master,
@@ -589,7 +597,7 @@ impl<A: AvailabilityModel> Simulator<A> {
                     .assignment
                     .entries()
                     .iter()
-                    .all(|&(q, x)| st.dynamic[q].comm_slots_remaining(x, t_prog, t_data) == 0);
+                    .all(|&(q, x)| st.dynamic.comm_slots_remaining(q, x, t_prog, t_data) == 0);
                 if !ready {
                     let boundary = Self::run_communication_slot(
                         cfg,
@@ -632,9 +640,7 @@ impl<A: AvailabilityModel> Simulator<A> {
                                 st.makespan = Some(t + 1);
                                 SlotPhase::Finished
                             } else {
-                                for d in st.dynamic.iter_mut() {
-                                    d.new_iteration();
-                                }
+                                st.dynamic.new_iteration_all();
                                 st.current = None;
                                 st.iteration_started_at = t + 1;
                                 st.log.push(
@@ -673,7 +679,7 @@ impl<A: AvailabilityModel> Simulator<A> {
         if let Some(old) = st.current.as_ref() {
             for &(q, _) in old.assignment.entries() {
                 if !assignment.contains(q) {
-                    st.dynamic[q].abort_partial_transfer();
+                    st.dynamic.abort_partial_transfer(q);
                 }
             }
         }
@@ -697,7 +703,7 @@ impl<A: AvailabilityModel> Simulator<A> {
     fn run_communication_slot(
         cfg: &ActiveConfiguration,
         states: &[ProcState],
-        dynamic: &mut [WorkerDynamicState],
+        dynamic: &mut WorkerStateTable,
         served: &mut Vec<usize>,
         master: &MasterSpec,
         stats: &mut SimStats,
@@ -715,32 +721,29 @@ impl<A: AvailabilityModel> Simulator<A> {
             if !states[q].is_up() {
                 continue;
             }
-            if dynamic[q].comm_slots_remaining(x, master.t_prog, master.t_data) == 0 {
+            if dynamic.comm_slots_remaining(q, x, master.t_prog, master.t_data) == 0 {
                 continue;
             }
-            let receiving_program = !dynamic[q].has_program;
-            let message_done = dynamic[q].advance_transfer(master.t_prog, master.t_data);
+            let receiving_program = !dynamic.get(q).has_program;
+            let message_done = dynamic.advance_transfer(q, master.t_prog, master.t_data);
             stats.transfer_slots += 1;
             served.push(q);
             channels -= 1;
             log.push(t, EventKind::TransferSlot { worker: q, program: receiving_program });
+            let after = dynamic.get(q);
             if message_done {
                 any_completion = true;
-                if receiving_program && dynamic[q].has_program {
+                if receiving_program && after.has_program {
                     log.push(t, EventKind::ProgramReceived { worker: q });
                 } else {
                     log.push(
                         t,
-                        EventKind::DataReceived {
-                            worker: q,
-                            total_messages: dynamic[q].data_messages,
-                        },
+                        EventKind::DataReceived { worker: q, total_messages: after.data_messages },
                     );
                 }
             } else {
-                let full =
-                    if dynamic[q].partial_is_program { master.t_prog } else { master.t_data };
-                boundary = boundary.min(full - dynamic[q].partial_transfer);
+                let full = if after.partial_is_program { master.t_prog } else { master.t_data };
+                boundary = boundary.min(full - after.partial_transfer);
             }
         }
         if served.is_empty() {

@@ -209,6 +209,62 @@ proptest! {
         prop_assert!(event_report.executed_slots <= slot_report.executed_slots);
     }
 
+    /// The scan-layer equivalence guarantee: on single-pool platforms (where
+    /// the class-representative argument is exact, see
+    /// `indexed_and_exhaustive_scans_build_identical_assignments`), full
+    /// simulations under the forced indexed scan produce `SimOutcome`s
+    /// byte-identical to the reference exhaustive scan, for every one of the
+    /// 17 heuristics — including mid-run decisions where holdings, in-flight
+    /// transfers and non-`UP` states split the equivalence classes.
+    #[test]
+    fn indexed_scan_full_sims_match_exhaustive(
+        seed in 0u64..10_000,
+        wmin in 1u64..4,
+        ncom in 2usize..8,
+        heuristic_idx in 0usize..17,
+        fast in 0.0f64..1.0,
+    ) {
+        use desktop_grid_scheduling::heuristics::{
+            PassiveScheduler, ProactiveScheduler, RandomScheduler, ScanStrategy,
+            SchedulingContext,
+        };
+        use desktop_grid_scheduling::sim::{Scheduler, SimulationLimits, Simulator};
+
+        let model = ScenarioModel {
+            speeds: SpeedProfile::Clustered { fast_fraction: fast, slow_factor: 5 },
+            availability: AvailabilityRegime::Pooled { classes: 1 },
+            ..ScenarioModel::paper()
+        };
+        let scenario = Scenario::generate_with(
+            ScenarioParams { num_workers: 12, tasks_per_iteration: 4, ncom, wmin, iterations: 2 },
+            &model,
+            seed,
+        );
+        let spec = HeuristicSpec::all()[heuristic_idx];
+        let run = |strategy: ScanStrategy| {
+            let mut ctx = SchedulingContext::new(1e-6);
+            ctx.set_scan_strategy(strategy);
+            let mut scheduler: Box<dyn Scheduler> = match spec {
+                HeuristicSpec::Random => Box::new(RandomScheduler::new(seed)),
+                HeuristicSpec::Passive(k) => Box::new(PassiveScheduler::with_context(k, ctx)),
+                HeuristicSpec::Proactive(c, k) => {
+                    Box::new(ProactiveScheduler::with_context(c, k, ctx))
+                }
+            };
+            let availability = scenario.availability_for_trial(seed ^ 0xF00D, false);
+            Simulator::new(&scenario, availability)
+                .with_limits(SimulationLimits::with_max_slots(20_000).unwrap())
+                .run(scheduler.as_mut())
+                .0
+        };
+        let exhaustive = run(ScanStrategy::Exhaustive);
+        let indexed = run(ScanStrategy::Indexed);
+        prop_assert_eq!(
+            &exhaustive, &indexed,
+            "{} (seed {}) diverged between forced scan strategies", spec.name(), seed
+        );
+    }
+
     /// The evaluation-layer equivalence guarantee: on random scenarios, under
     /// both engines, an instance evaluated through a shared, pre-warmed
     /// `EvalCache` — populated by *other* heuristics and an earlier trial —
@@ -287,14 +343,18 @@ fn speed_profile() -> impl Strategy<Value = SpeedProfile> {
     })
 }
 
-/// Strategy over every availability regime, including random self-loop ranges.
+/// Strategy over every availability regime, including random self-loop ranges
+/// and the pooled classes of the scaling layer.
 fn availability_regime() -> impl Strategy<Value = AvailabilityRegime> {
-    (0u8..4, 0.5f64..0.9, 0.0f64..0.09).prop_map(|(kind, lo, width)| match kind {
-        0 => AvailabilityRegime::Paper,
-        1 => AvailabilityRegime::Volatile,
-        2 => AvailabilityRegime::Stable,
-        _ => AvailabilityRegime::SelfLoops { lo, hi: lo + width },
-    })
+    (0u8..5, 0.5f64..0.9, 0.0f64..0.09, 1usize..20).prop_map(
+        |(kind, lo, width, classes)| match kind {
+            0 => AvailabilityRegime::Paper,
+            1 => AvailabilityRegime::Volatile,
+            2 => AvailabilityRegime::Stable,
+            3 => AvailabilityRegime::Pooled { classes },
+            _ => AvailabilityRegime::SelfLoops { lo, hi: lo + width },
+        },
+    )
 }
 
 /// Strategy over full generator models (all four axes).
@@ -374,6 +434,128 @@ proptest! {
             for t in 0..100u64 {
                 prop_assert_eq!(ra.state(q, t), rb.state(q, t));
             }
+        }
+    }
+
+    /// The prefix-accumulator of the scaling layer: folding workers in one at
+    /// a time, or merging two independently folded halves, agrees with the
+    /// batch left-fold of `GroupComputation` to within `1e-12` relative
+    /// error, on chains drawn from every availability regime.
+    #[test]
+    fn accumulator_extend_and_merge_match_batch(
+        regime in availability_regime(),
+        seed in 0u64..10_000,
+        count in 2usize..7,
+        split in 1usize..6,
+        w in 1u64..40,
+    ) {
+        use desktop_grid_scheduling::analysis::GroupAccumulator;
+        use desktop_grid_scheduling::availability::rng::rng_from_seed;
+
+        let mut rng = rng_from_seed(seed);
+        let chains: Vec<MarkovChain3> =
+            (0..count).map(|_| regime.sample_chain(&mut rng)).collect();
+        let series: Vec<WorkerSeries> = chains.iter().map(WorkerSeries::new).collect();
+        let refs: Vec<&WorkerSeries> = series.iter().collect();
+        let batch = GroupComputation::new(1e-7).compute(&refs);
+
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-12 * x.abs().max(y.abs()).max(1.0);
+        let check = |label: &str, got: desktop_grid_scheduling::analysis::GroupQuantities| {
+            prop_assert!(close(got.eu, batch.eu), "{label}: Eu {} vs {}", got.eu, batch.eu);
+            prop_assert!(close(got.a, batch.a), "{label}: A {} vs {}", got.a, batch.a);
+            prop_assert!(
+                close(got.p_plus, batch.p_plus),
+                "{label}: P+ {} vs {}", got.p_plus, batch.p_plus
+            );
+            prop_assert!(close(got.e_c, batch.e_c), "{label}: Ec {} vs {}", got.e_c, batch.e_c);
+            prop_assert!(
+                close(got.prob_success(w), batch.prob_success(w)),
+                "{label}: P(success, {w}) diverged"
+            );
+        };
+
+        // One-at-a-time chain, in the cache's sorted-prefix order.
+        let mut acc = GroupAccumulator::empty(1e-7);
+        for s in &series {
+            acc = acc.extend(s).expect("regime-sampled chains can fail");
+        }
+        check("extend chain", acc.quantities());
+
+        // Merge of two independently folded halves.
+        let split = split.min(count - 1);
+        let fold = |part: &[WorkerSeries]| {
+            part.iter().fold(GroupAccumulator::empty(1e-7), |a, s| {
+                a.extend(s).expect("regime-sampled chains can fail")
+            })
+        };
+        let merged = fold(&series[..split])
+            .merge(&fold(&series[split..]))
+            .expect("regime-sampled chains can fail");
+        check("merged halves", merged.quantities());
+    }
+
+    /// The indexed candidate scan builds the exact assignment of the
+    /// reference exhaustive scan, for all four incremental criteria.
+    ///
+    /// Single-pool platforms (`Pooled { classes: 1 }`) make the
+    /// class-representative argument *exact*: every worker shares one chain
+    /// bitwise, so the per-term joint products are powers of one value and
+    /// same-class scores cannot drift by fold order. (Multi-pool platforms
+    /// can diverge by ulps when a replacement changes its sorted position —
+    /// which is why `ScanStrategy::Auto` only engages the index beyond the
+    /// paper's scales.)
+    #[test]
+    fn indexed_and_exhaustive_scans_build_identical_assignments(
+        seed in 0u64..10_000,
+        workers in 6usize..24,
+        m in 1usize..8,
+        fast in 0.0f64..1.0,
+        slow_factor in 2u64..8,
+        wmin in 1u64..4,
+    ) {
+        use desktop_grid_scheduling::heuristics::passive::{
+            build_incremental_exhaustive, build_incremental_indexed,
+        };
+        use desktop_grid_scheduling::heuristics::{PassiveKind, SchedulingContext};
+        use desktop_grid_scheduling::sim::view::{SimView, WorkerView};
+        use desktop_grid_scheduling::sim::worker_state::WorkerDynamicState;
+
+        let model = ScenarioModel {
+            speeds: SpeedProfile::Clustered { fast_fraction: fast, slow_factor },
+            availability: AvailabilityRegime::Pooled { classes: 1 },
+            ..ScenarioModel::paper()
+        };
+        let params = ScenarioParams {
+            num_workers: workers,
+            tasks_per_iteration: m,
+            ncom: 4,
+            wmin,
+            iterations: 2,
+        };
+        let scenario = Scenario::generate_with(params, &model, seed);
+        let views: Vec<WorkerView> = (0..workers)
+            .map(|_| WorkerView { state: ProcState::Up, dynamic: WorkerDynamicState::fresh() })
+            .collect();
+        let view = SimView {
+            time: 0,
+            iteration: 0,
+            completed_iterations: 0,
+            iteration_started_at: 0,
+            workers: &views,
+            platform: &scenario.platform,
+            application: &scenario.application,
+            master: &scenario.master,
+            current: None,
+        };
+        for kind in PassiveKind::ALL {
+            let mut ex_ctx = SchedulingContext::new(1e-6);
+            let mut ix_ctx = SchedulingContext::new(1e-6);
+            let exhaustive = build_incremental_exhaustive(&mut ex_ctx, &view, kind);
+            let indexed = build_incremental_indexed(&mut ix_ctx, &view, kind);
+            prop_assert_eq!(
+                &exhaustive, &indexed,
+                "{:?} diverged between scans on a single-pool platform (seed {})", kind, seed
+            );
         }
     }
 

@@ -22,9 +22,13 @@ fn temp_dir(name: &str) -> PathBuf {
 }
 
 /// A CI-sized projection of a suite: its first `(m, ncom, wmin)` point,
-/// 1 scenario × 1 trial, three heuristics, a small cap.
+/// 1 scenario × 1 trial, three heuristics, a small cap. Platforms beyond
+/// 60 workers (the `massive` preset runs at 20 000) are shrunk to keep
+/// these debug-mode end-to-end runs fast; the suite's model axes
+/// (clustered speeds over pooled chains) are still exercised.
 fn trimmed(suite: &SuiteSpec) -> CampaignConfig {
     let mut config = suite.campaign(1, 1, 20_000);
+    config.num_workers = config.num_workers.min(60);
     config.m_values = vec![suite.m_values[0]];
     config.ncom_values = vec![suite.ncom_values[0]];
     config.wmin_values = vec![suite.wmin_values[0]];
