@@ -58,6 +58,17 @@ pub trait AvailabilityModel {
     fn all_up(&mut self, procs: &[usize], t: u64) -> bool {
         procs.iter().all(|&q| self.state(q, t).is_up())
     }
+
+    /// Project the model onto a boolean `UP` matrix over `0..horizon`:
+    /// `matrix[q][t]` is `true` exactly when processor `q` is `UP` at slot
+    /// `t`. This is the paper's offline view of a realized trial — `RECLAIMED`
+    /// and `DOWN` both project to `false`, because the offline problem only
+    /// distinguishes available from unavailable.
+    fn up_matrix(&mut self, horizon: u64) -> Vec<Vec<bool>> {
+        (0..self.num_procs())
+            .map(|q| (0..horizon).map(|t| self.state(q, t).is_up()).collect())
+            .collect()
+    }
 }
 
 /// Lazily realized Markov availability: one [`MarkovChain3`] and one RNG stream
@@ -354,6 +365,28 @@ mod tests {
         assert!(s.all_up(&[0, 1, 2], 0));
         assert!(!s.all_up(&[0, 1, 2], 1));
         assert!(s.all_up(&[], 1));
+    }
+
+    #[test]
+    fn up_matrix_projects_up_only() {
+        // RECLAIMED and DOWN both project to `false`.
+        let mut s = ScriptedAvailability::from_codes(&["UURD", "RRUU"]);
+        assert_eq!(
+            s.up_matrix(4),
+            vec![vec![true, true, false, false], vec![false, false, true, true]]
+        );
+        // A shorter horizon truncates columns, not rows.
+        assert_eq!(s.up_matrix(2), vec![vec![true, true], vec![false, false]]);
+        // The projection agrees with the Markov backend's state queries.
+        let chains = paper_chains(3, 17);
+        let mut a = MarkovAvailability::new(chains.clone(), 11, false);
+        let mut b = MarkovAvailability::new(chains, 11, false);
+        let matrix = a.up_matrix(64);
+        for (q, row) in matrix.iter().enumerate() {
+            for (t, &up) in row.iter().enumerate() {
+                assert_eq!(up, b.state(q, t as u64).is_up());
+            }
+        }
     }
 
     #[test]

@@ -189,7 +189,7 @@ pub fn config_fingerprint(config: &CampaignConfig) -> String {
     )
 }
 
-fn join<T: std::fmt::Display>(xs: &[T]) -> String {
+pub(crate) fn join<T: std::fmt::Display>(xs: &[T]) -> String {
     xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
 }
 

@@ -21,6 +21,9 @@
 //!   reference heuristic IE: `%diff`, `%wins`, `%wins30`, `stdv` and `#fails`;
 //! * [`tables`] — renders Table I (m = 5) and Table II (m = 10);
 //! * [`figures`] — produces the `%diff` vs `wmin` series of Figure 2;
+//! * [`gap`] — the optimality-gap layer: projects realized trials onto the
+//!   paper's offline assumptions and reports per-heuristic `online / offline`
+//!   makespan ratios against the `dg-offline` oracles;
 //! * [`sensitivity`] — the model-mismatch extension: the same heuristics run on
 //!   semi-Markov (Weibull / log-normal) availability traces;
 //! * [`suite`] — named scenario suites over the generator axes of
@@ -28,7 +31,7 @@
 //!   `commbound` presets, a hand-rolled text format for custom suites and
 //!   the `--suite NAME|FILE` resolution used by every binary.
 //!
-//! The binaries `table1`, `table2`, `figure2`, `sensitivity` and `report`
+//! The binaries `table1`, `table2`, `figure2`, `sensitivity`, `report` and `gap`
 //! print the corresponding paper artifacts; their `--scenarios/--trials/--cap`
 //! flags select the campaign scale (the paper's full scale is 10 scenarios ×
 //! 10 trials per point with a 10⁶-slot cap) and `--engine slot|event` selects
@@ -52,6 +55,7 @@ pub mod campaign;
 pub mod cli;
 pub mod executor;
 pub mod figures;
+pub mod gap;
 pub mod metrics;
 pub mod runner;
 pub mod sensitivity;
@@ -64,8 +68,13 @@ pub use campaign::{CampaignConfig, CampaignResults, InstanceResult};
 pub use executor::{
     resolve_threads, run_campaign_with, CampaignOutcome, ExecutorOptions, ExecutorStats,
 };
+pub use gap::{
+    render_gap_table, run_gap_with, GapAggregate, GapOutcome, GapRecord, GapStats, EXACT_M_MAX,
+};
 pub use metrics::{HeuristicSummary, ReferenceComparison};
-pub use runner::{run_instance, run_instance_on, run_instance_with_report, InstanceSpec};
+pub use runner::{
+    run_instance, run_instance_logged, run_instance_on, run_instance_with_report, InstanceSpec,
+};
 pub use stream::CampaignAccumulator;
 pub use suite::SuiteSpec;
 pub use tables::render_table;

@@ -5,7 +5,7 @@ use dg_availability::rng::derive_seed;
 use dg_availability::AvailabilityModel;
 use dg_heuristics::HeuristicSpec;
 use dg_platform::Scenario;
-use dg_sim::{EngineReport, SimMode, SimOutcome, SimulationLimits, Simulator};
+use dg_sim::{EngineReport, EventLog, SimMode, SimOutcome, SimulationLimits, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Identifies one `(scenario, trial, heuristic)` run.
@@ -97,6 +97,34 @@ pub fn run_instance_on<A: AvailabilityModel>(
     let simulator = Simulator::new(scenario, availability).with_limits(limits).with_mode(mode);
     let (outcome, _, report) = simulator.run_with_report(scheduler.as_mut());
     (outcome, report)
+}
+
+/// Like [`run_instance_on`], but with a completions-only event log so the
+/// caller can read the slot at which each iteration finished — the per-run
+/// signal the optimality-gap bridge needs to bound partially-completed runs.
+/// The simulated outcome is identical to [`run_instance_on`]'s (logging never
+/// influences the engine); only the returned [`EventLog`] differs.
+///
+/// # Panics
+/// Panics if `max_slots` is zero (see [`SimulationLimits::with_max_slots`]).
+pub fn run_instance_logged<A: AvailabilityModel>(
+    scenario: &Scenario,
+    spec: &InstanceSpec,
+    availability: A,
+    cache: &EvalCache,
+    base_seed: u64,
+    max_slots: u64,
+    mode: SimMode,
+) -> (SimOutcome, EventLog) {
+    let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
+    let mut scheduler = spec.heuristic.build_with_cache(derive_seed(seed, 0x5EED), cache);
+    let limits = SimulationLimits::with_max_slots(max_slots).expect("slot cap must be positive");
+    let simulator = Simulator::new(scenario, availability)
+        .with_limits(limits)
+        .with_completion_log(true)
+        .with_mode(mode);
+    let (outcome, log) = simulator.run(scheduler.as_mut());
+    (outcome, log)
 }
 
 #[cfg(test)]

@@ -160,13 +160,15 @@ pub fn decode_instance(line: &str) -> Result<StoredInstance, String> {
 }
 
 /// Strict in-order parser over the `"key":value` pairs of one record line.
-struct FieldParser<'a> {
+/// Shared with the gap layer's record codec, which follows the same
+/// conventions (fixed key order, integers, plain strings, `null`).
+pub(crate) struct FieldParser<'a> {
     rest: &'a str,
     first: bool,
 }
 
 impl<'a> FieldParser<'a> {
-    fn new(line: &'a str) -> Result<Self, String> {
+    pub(crate) fn new(line: &'a str) -> Result<Self, String> {
         let line = line.trim_end_matches(['\r', ' ']);
         let rest = line
             .strip_prefix('{')
@@ -176,7 +178,7 @@ impl<'a> FieldParser<'a> {
     }
 
     /// Consume `"key":` and return the raw value text.
-    fn take_raw(&mut self, key: &str) -> Result<&'a str, String> {
+    pub(crate) fn take_raw(&mut self, key: &str) -> Result<&'a str, String> {
         let mut prefix = String::with_capacity(key.len() + 4);
         if !self.first {
             prefix.push(',');
@@ -208,17 +210,17 @@ impl<'a> FieldParser<'a> {
         Ok(value)
     }
 
-    fn take_u64(&mut self, key: &str) -> Result<u64, String> {
+    pub(crate) fn take_u64(&mut self, key: &str) -> Result<u64, String> {
         let raw = self.take_raw(key)?;
         raw.parse().map_err(|_| format!("field '{key}': invalid integer '{raw}'"))
     }
 
-    fn take_usize(&mut self, key: &str) -> Result<usize, String> {
+    pub(crate) fn take_usize(&mut self, key: &str) -> Result<usize, String> {
         let raw = self.take_raw(key)?;
         raw.parse().map_err(|_| format!("field '{key}': invalid integer '{raw}'"))
     }
 
-    fn take_nullable_u64(&mut self, key: &str) -> Result<Option<u64>, String> {
+    pub(crate) fn take_nullable_u64(&mut self, key: &str) -> Result<Option<u64>, String> {
         let raw = self.take_raw(key)?;
         if raw == "null" {
             return Ok(None);
@@ -226,7 +228,7 @@ impl<'a> FieldParser<'a> {
         raw.parse().map(Some).map_err(|_| format!("field '{key}': invalid integer '{raw}'"))
     }
 
-    fn take_string(&mut self, key: &str) -> Result<String, String> {
+    pub(crate) fn take_string(&mut self, key: &str) -> Result<String, String> {
         let raw = self.take_raw(key)?;
         let inner = raw
             .strip_prefix('"')
@@ -239,7 +241,7 @@ impl<'a> FieldParser<'a> {
     }
 
     /// Peek-based optional string field: consumed only if present next.
-    fn take_optional_string(&mut self, key: &str) -> Result<Option<String>, String> {
+    pub(crate) fn take_optional_string(&mut self, key: &str) -> Result<Option<String>, String> {
         let probe = format!(",\"{key}\":");
         if self.rest.starts_with(probe.as_str()) {
             return self.take_string(key).map(Some);
@@ -247,7 +249,7 @@ impl<'a> FieldParser<'a> {
         Ok(None)
     }
 
-    fn finish(self) -> Result<(), String> {
+    pub(crate) fn finish(self) -> Result<(), String> {
         if self.rest.is_empty() {
             Ok(())
         } else {
@@ -312,6 +314,16 @@ impl CampaignStore {
     /// lines (e.g. the truncated tail of a killed run) and everything after
     /// them in their shard are skipped — those instances simply re-run.
     pub fn load(&self) -> Result<Vec<StoredInstance>, String> {
+        self.load_with(decode_instance)
+    }
+
+    /// Like [`CampaignStore::load`], but with a caller-supplied line decoder
+    /// — the gap layer stores records in its own format through the same
+    /// shard machinery.
+    pub(crate) fn load_with<T>(
+        &self,
+        decode: impl Fn(&str) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
         let mut out = Vec::new();
         for path in self.shard_paths()? {
             let text = fs::read_to_string(&path)
@@ -320,7 +332,7 @@ impl CampaignStore {
                 if line.is_empty() {
                     continue;
                 }
-                match decode_instance(line) {
+                match decode(line) {
                     Ok(record) => out.push(record),
                     // A malformed line marks the write frontier of a killed
                     // campaign; nothing after it in this shard is trusted.

@@ -19,17 +19,40 @@
 //! * [`exact`] — exponential-time exact solvers for both variants (practical
 //!   for the small instances used in tests and benches);
 //! * [`greedy`] — polynomial-time greedy heuristics;
+//! * [`oracle`] — earliest-finish makespan oracles that chain iterations into
+//!   full schedules (exact lower bounds at small `m`, greedy upper bounds
+//!   beyond), consumed by the `gap` experiment binary;
 //! * [`encd`] — bipartite graphs, bi-clique checking and the two reductions of
 //!   Theorem 4.1, with machinery to verify them experimentally.
+//!
+//! ```
+//! use dg_offline::{solve_mu1_exact, OfflineInstance};
+//!
+//! // 3 processors over 4 slots; find m = 2 processors UP during w = 2 slots.
+//! let up = vec![
+//!     vec![true, true, false, true],
+//!     vec![false, true, true, true],
+//!     vec![true, false, false, false],
+//! ];
+//! let instance = OfflineInstance::new(up, 2, 2);
+//! let solution = solve_mu1_exact(&instance).expect("processors 0 and 1 share slots 1 and 3");
+//! assert_eq!(solution.processors, vec![0, 1]);
+//! assert!(solution.is_valid_mu1(&instance));
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod encd;
 pub mod exact;
 pub mod greedy;
+pub mod oracle;
 pub mod problem;
 
 pub use encd::{BipartiteGraph, EncdInstance};
 pub use exact::{solve_mu1_exact, solve_mu_unbounded_exact};
 pub use greedy::{greedy_mu1, greedy_mu_unbounded};
+pub use oracle::{
+    earliest_finish_exact, earliest_finish_greedy, schedule_exact, schedule_greedy,
+    OfflineSchedule, OracleVariant,
+};
 pub use problem::{OfflineInstance, OfflineSolution};

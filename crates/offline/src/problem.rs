@@ -106,6 +106,22 @@ impl OfflineSolution {
             && self.all_up(instance)
     }
 
+    /// The slot right after the last one used — the iteration's finish time,
+    /// directly comparable to a makespan in time-slots.
+    ///
+    /// ```
+    /// use dg_offline::OfflineSolution;
+    ///
+    /// let sol = OfflineSolution { processors: vec![0, 2], slots: vec![1, 4] };
+    /// assert_eq!(sol.finish_time(), 5);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on an empty witness (solvers never produce one).
+    pub fn finish_time(&self) -> u64 {
+        *self.slots.last().expect("a witness uses at least one slot") as u64 + 1
+    }
+
     fn all_up(&self, instance: &OfflineInstance) -> bool {
         let mut distinct = self.slots.clone();
         distinct.sort_unstable();

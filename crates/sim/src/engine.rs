@@ -207,6 +207,7 @@ pub struct Simulator<A: AvailabilityModel> {
     availability: A,
     limits: SimulationLimits,
     log_events: bool,
+    completion_log: bool,
     mode: SimMode,
 }
 
@@ -250,6 +251,7 @@ impl<A: AvailabilityModel> Simulator<A> {
             availability,
             limits: SimulationLimits::default(),
             log_events: false,
+            completion_log: false,
             mode: SimMode::default(),
         }
     }
@@ -267,6 +269,14 @@ impl<A: AvailabilityModel> Simulator<A> {
     /// log combine this with [`SimMode::SlotStepped`].
     pub fn with_event_log(mut self, enabled: bool) -> Self {
         self.log_events = enabled;
+        self
+    }
+
+    /// Record only iteration-completion events, keeping memory flat on long
+    /// runs. A full event log ([`Simulator::with_event_log`]) takes
+    /// precedence when both are requested.
+    pub fn with_completion_log(mut self, enabled: bool) -> Self {
+        self.completion_log = enabled;
         self
     }
 
@@ -297,7 +307,13 @@ impl<A: AvailabilityModel> Simulator<A> {
             iteration_started_at: 0,
             makespan: None,
             states: vec![ProcState::Up; p],
-            log: if self.log_events { EventLog::enabled() } else { EventLog::disabled() },
+            log: if self.log_events {
+                EventLog::enabled()
+            } else if self.completion_log {
+                EventLog::completions_only()
+            } else {
+                EventLog::disabled()
+            },
             served: Vec::new(),
             views: Vec::with_capacity(p),
         };
@@ -802,6 +818,42 @@ mod tests {
             // program (3 workers * 2) + data (3 workers * 1 * 2 iterations) = 12
             assert_eq!(outcome.stats.transfer_slots, 12);
             assert_eq!(log.iteration_completions().len(), 2);
+        }
+    }
+
+    #[test]
+    fn completion_log_matches_full_log_completions() {
+        for mode in [SimMode::SlotStepped, SimMode::EventDriven] {
+            let assignment = Assignment::new([(0, 1), (1, 1), (2, 1)]);
+            let full = Simulator::from_parts(
+                reliable_platform(3, 2),
+                ApplicationSpec::new(3, 2),
+                MasterSpec::from_slots(3, 2, 1),
+                always_up(3, 10),
+            )
+            .with_event_log(true)
+            .with_mode(mode);
+            let (full_outcome, full_log) =
+                full.run(&mut FixedAssignmentScheduler::new(assignment.clone()));
+            let lean = Simulator::from_parts(
+                reliable_platform(3, 2),
+                ApplicationSpec::new(3, 2),
+                MasterSpec::from_slots(3, 2, 1),
+                always_up(3, 10),
+            )
+            .with_completion_log(true)
+            .with_mode(mode);
+            let (lean_outcome, lean_log) = lean.run(&mut FixedAssignmentScheduler::new(assignment));
+            assert_eq!(full_outcome, lean_outcome);
+            assert_eq!(full_log.iteration_completions(), lean_log.iteration_completions());
+            // Only the completion events were kept.
+            assert_eq!(lean_log.events().len(), lean_log.iteration_completions().len());
+            assert!(full_log.events().len() > lean_log.events().len());
+            // The makespan is exactly 1 + the last completion slot.
+            assert_eq!(
+                lean_outcome.makespan,
+                lean_log.iteration_completions().last().map(|&t| t + 1)
+            );
         }
     }
 

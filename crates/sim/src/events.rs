@@ -81,18 +81,29 @@ pub struct Event {
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     enabled: bool,
+    completions_only: bool,
     events: Vec<Event>,
 }
 
 impl EventLog {
     /// An enabled (recording) log.
     pub fn enabled() -> Self {
-        EventLog { enabled: true, events: Vec::new() }
+        EventLog { enabled: true, completions_only: false, events: Vec::new() }
     }
 
     /// A disabled log: `push` is a no-op.
     pub fn disabled() -> Self {
-        EventLog { enabled: false, events: Vec::new() }
+        EventLog { enabled: false, completions_only: false, events: Vec::new() }
+    }
+
+    /// A log that records only [`EventKind::IterationCompleted`] events.
+    ///
+    /// The gap experiment needs per-iteration completion slots from runs
+    /// spanning up to the full slot cap; keeping only the (at most
+    /// `iterations`-many) completion events keeps memory flat where a full
+    /// log would grow with every simulated slot.
+    pub fn completions_only() -> Self {
+        EventLog { enabled: true, completions_only: true, events: Vec::new() }
     }
 
     /// `true` if the log records events.
@@ -100,9 +111,12 @@ impl EventLog {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled).
+    /// Record an event (no-op when disabled; non-completion events are
+    /// dropped by a [`EventLog::completions_only`] log).
     pub fn push(&mut self, time: u64, kind: EventKind) {
-        if self.enabled {
+        if self.enabled
+            && (!self.completions_only || matches!(kind, EventKind::IterationCompleted { .. }))
+        {
             self.events.push(Event { time, kind });
         }
     }
@@ -135,6 +149,18 @@ mod tests {
         log.push(3, EventKind::ComputationSuspended);
         assert!(log.events().is_empty());
         assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn completions_only_log_filters_other_kinds() {
+        let mut log = EventLog::completions_only();
+        log.push(0, EventKind::IterationStarted { iteration: 0 });
+        log.push(2, EventKind::ComputationSuspended);
+        log.push(4, EventKind::IterationCompleted { iteration: 0 });
+        log.push(5, EventKind::RunFinished { success: true });
+        assert!(log.is_enabled());
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.iteration_completions(), vec![4]);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use desktop_grid_scheduling::experiments::cli::CliOptions;
 use desktop_grid_scheduling::experiments::executor::{run_campaign_with, ExecutorOptions};
 use desktop_grid_scheduling::experiments::figures::Figure;
+use desktop_grid_scheduling::experiments::gap::{render_gap_table, run_gap_with};
 use desktop_grid_scheduling::experiments::store::shard_name;
 use desktop_grid_scheduling::experiments::tables::{render_table, table_comparison};
 use desktop_grid_scheduling::heuristics::HeuristicSpec;
@@ -99,4 +100,41 @@ fn figure2_rendering_matches_golden_corpus() {
     let figure = Figure::compute(&outcome.results, 10, "IE", &names);
     let rendered = format!("{}\nCSV:\n{}", figure.render(), figure.to_csv());
     check_golden("figure2_m10.txt", &rendered);
+}
+
+/// The optimality-gap golden sweep: same scale as the Table I campaign
+/// (`--scenarios 1 --trials 1 --wmin 1,2` at `m = 5`, 4 threads, store
+/// attached), pinning both the rendered gap table and the gap-record shard
+/// bytes — and, with every ratio in the fixture `>= 1.000`, the exact
+/// oracle's lower-bound property at the committed seed.
+#[test]
+fn gap_rendering_and_shards_match_golden_corpus() {
+    let opts =
+        CliOptions::parse(["--scenarios", "1", "--trials", "1", "--wmin", "1,2", "--threads", "4"])
+            .unwrap();
+    let config = opts.campaign().unwrap().with_m(5);
+    let dir = temp_store("gap");
+    let options = ExecutorOptions::new().retain_raw(true).store(&dir, false);
+    let outcome = run_gap_with(&config, &options, |_, _| {}).unwrap();
+
+    for agg in &outcome.aggregates {
+        assert!(
+            agg.comparable == 0 || agg.min_ratio >= 1.0,
+            "{} dipped below the exact offline bound in the golden sweep: {}",
+            agg.heuristic,
+            agg.min_ratio
+        );
+    }
+    let table = render_gap_table(
+        "OPTIMALITY GAP vs OFFLINE ORACLE (paper suite, online/offline makespan ratios).",
+        &outcome.aggregates,
+    );
+    check_golden("gap_m5.txt", &table);
+
+    let mut shards = String::new();
+    for point in 0..config.points().len() {
+        shards.push_str(&fs::read_to_string(dir.join(shard_name(point))).unwrap());
+    }
+    check_golden("gap_shards.jsonl", &shards);
+    let _ = fs::remove_dir_all(&dir);
 }

@@ -589,3 +589,112 @@ proptest! {
         }
     }
 }
+
+/// Reference oracle for the earliest-finish search: enumerate every processor
+/// subset the variant allows and take the best feasible finish. Exponential,
+/// so only for tiny instances.
+fn brute_force_earliest_finish(
+    inst: &OfflineInstance,
+    from: usize,
+    variant: OracleVariant,
+) -> Option<u64> {
+    let p = inst.num_procs();
+    let mut best: Option<u64> = None;
+    for mask in 1u32..1 << p {
+        let procs: Vec<usize> = (0..p).filter(|q| mask >> q & 1 == 1).collect();
+        let k = procs.len();
+        let (allowed, needed) = match variant {
+            OracleVariant::Mu1 => (k == inst.m, inst.w as usize),
+            OracleVariant::MuUnbounded => (k <= inst.m, inst.required_slots_for(k) as usize),
+        };
+        if !allowed {
+            continue;
+        }
+        let common: Vec<usize> =
+            (from..inst.horizon()).filter(|&t| procs.iter().all(|&q| inst.is_up(q, t))).collect();
+        if common.len() >= needed {
+            let finish = common[needed - 1] as u64 + 1;
+            if best.is_none_or(|b| finish < b) {
+                best = Some(finish);
+            }
+        }
+    }
+    best
+}
+
+/// Strategy for a tiny offline instance within the brute-force envelope: up
+/// to 6 processors (`m <= 6`) and horizons up to 8 slots. A full 6x8 matrix
+/// is generated and truncated to the sampled dimensions.
+fn tiny_offline_instance() -> impl Strategy<Value = OfflineInstance> {
+    (
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), 8), 6),
+        1usize..=6,
+        1usize..=8,
+        1u64..=3,
+        1usize..=6,
+    )
+        .prop_map(|(up, p, horizon, w, m)| {
+            let up: Vec<Vec<bool>> =
+                up.into_iter().take(p).map(|row| row.into_iter().take(horizon).collect()).collect();
+            OfflineInstance::new(up, w, m)
+        })
+}
+
+/// Strategy for a Markov chain drawn from one of the generator's availability
+/// regimes: volatile (`U[0.60, 0.85]` self-loops), the paper's
+/// `U[0.90, 0.99]`, or near-dedicated `U[0.995, 0.999]`.
+fn regime_chain() -> impl Strategy<Value = MarkovChain3> {
+    (0usize..3, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(regime, u, r, d)| {
+        let (lo, hi) = [(0.60, 0.85), (0.90, 0.99), (0.995, 0.999)][regime];
+        let scale = |x: f64| lo + x * (hi - lo);
+        MarkovChain3::from_self_loop_probs(scale(u), scale(r), scale(d)).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn offline_exact_oracle_matches_brute_force_on_tiny_instances(
+        inst in tiny_offline_instance(),
+        from in 0usize..4,
+        mu1 in any::<bool>(),
+    ) {
+        let variant = if mu1 { OracleVariant::Mu1 } else { OracleVariant::MuUnbounded };
+        let expected = brute_force_earliest_finish(&inst, from, variant);
+        let got = earliest_finish_exact(&inst, from, variant);
+        prop_assert_eq!(
+            got.as_ref().map(|s| s.finish_time()), expected,
+            "exact oracle disagrees with subset enumeration (from {}, witness {:?})", from, got
+        );
+        // Greedy returns a feasible witness, so it can never beat the optimum.
+        if let Some(greedy) = earliest_finish_greedy(&inst, from, variant) {
+            prop_assert!(greedy.finish_time() >= expected.unwrap());
+        }
+    }
+
+    #[test]
+    fn greedy_schedule_never_beats_exact_schedule_across_regimes(
+        chains in proptest::collection::vec(regime_chain(), 1..6),
+        seed in 0u64..10_000,
+        w in 1u64..3,
+        iterations in 1u64..3,
+    ) {
+        // Project a realization from each availability regime and check
+        // makespan dominance of the chained oracles on it.
+        let p = chains.len();
+        let mut model = MarkovAvailability::new(chains, seed, false);
+        let inst = OfflineInstance::new(model.up_matrix(48), w, 1 + p / 2);
+        let exact = schedule_exact(&inst, iterations, OracleVariant::MuUnbounded);
+        let greedy = schedule_greedy(&inst, iterations, OracleVariant::MuUnbounded);
+        if let Some(greedy) = &greedy {
+            let exact = exact.as_ref().expect("greedy found a schedule the exact search missed");
+            prop_assert!(
+                exact.makespan <= greedy.makespan,
+                "exact {} > greedy {}", exact.makespan, greedy.makespan
+            );
+            prop_assert!(exact.is_valid(&inst, OracleVariant::MuUnbounded));
+            prop_assert!(greedy.is_valid(&inst, OracleVariant::MuUnbounded));
+        }
+    }
+}
