@@ -14,7 +14,7 @@
 //! | `offline` | Theorem 4.1 | exact vs greedy OFF-LINE-COUPLED solvers, ENCD reduction |
 //! | `sensitivity` | Section VII-B extension | Markov vs semi-Markov availability runs |
 //! | `engine_event_vs_slot` | Section III substrate | event-driven vs slot-stepped engine on identical workloads |
-//! | `campaign_throughput` | Section VII harness | sharded executor (one availability realization per trial) vs per-instance realization |
+//! | `campaign_throughput` | Section VII harness | shared-trial realization accounting + multi-process (1/2/4 workers × threads) byte-identical scaling matrix; writes `BENCH_campaign.json` |
 //! | `scaling` | scaling layer (ablation) | indexed-scan decision cost vs platform size, `p` up to 20 000; writes `BENCH_scaling.json` |
 //!
 //! The criterion benches intentionally run *scaled-down slices* so that

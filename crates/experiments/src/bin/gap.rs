@@ -12,8 +12,9 @@
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
+use dg_experiments::distrib::{run_distributed, DistribOutcome};
 use dg_experiments::executor::resolve_threads;
-use dg_experiments::gap::{render_gap_table, run_gap_with, EXACT_M_MAX};
+use dg_experiments::gap::{gap_fingerprint, render_gap_table, run_gap_with, EXACT_M_MAX};
 
 fn main() {
     let opts = match CliOptions::from_env() {
@@ -43,8 +44,13 @@ fn main() {
         resolve_threads(config.threads),
         EXACT_M_MAX,
     );
-    let outcome = match run_gap_with(&config, &opts.executor(), progress_reporter(opts.quiet)) {
-        Ok(outcome) => outcome,
+    let dispatch =
+        run_distributed(&opts, &gap_fingerprint(&config), config.points().len(), |options| {
+            run_gap_with(&config, options, progress_reporter(opts.quiet))
+        });
+    let outcome = match dispatch {
+        Ok(DistribOutcome::Ran(outcome)) => outcome,
+        Ok(DistribOutcome::WorkerDone { .. }) => return,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);

@@ -8,7 +8,8 @@
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
-use dg_experiments::executor::{resolve_threads, run_campaign_with};
+use dg_experiments::distrib::{run_distributed, DistribOutcome};
+use dg_experiments::executor::{config_fingerprint, resolve_threads, run_campaign_with};
 use dg_experiments::figures::Figure;
 use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
 
@@ -51,9 +52,13 @@ fn main() {
         resolve_threads(config.threads),
     );
     let start = std::time::Instant::now();
-    let outcome = match run_campaign_with(&config, &opts.executor(), progress_reporter(opts.quiet))
-    {
-        Ok(outcome) => outcome,
+    let dispatch =
+        run_distributed(&opts, &config_fingerprint(&config), config.points().len(), |options| {
+            run_campaign_with(&config, options, progress_reporter(opts.quiet))
+        });
+    let outcome = match dispatch {
+        Ok(DistribOutcome::Ran(outcome)) => outcome,
+        Ok(DistribOutcome::WorkerDone { .. }) => return,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);

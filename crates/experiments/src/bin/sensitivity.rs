@@ -8,8 +8,11 @@
 //! ```
 
 use dg_experiments::cli::CliOptions;
+use dg_experiments::distrib::{run_distributed, DistribOutcome};
 use dg_experiments::executor::resolve_threads;
-use dg_experiments::sensitivity::{render_sensitivity, run_sensitivity_with, SensitivityConfig};
+use dg_experiments::sensitivity::{
+    render_sensitivity, run_sensitivity_with, sensitivity_fingerprint, SensitivityConfig,
+};
 use dg_heuristics::HeuristicSpec;
 use dg_platform::ScenarioParams;
 
@@ -82,8 +85,13 @@ fn main() {
         config.engine,
         resolve_threads(config.threads),
     );
-    let results = match run_sensitivity_with(&config, opts.out.as_deref(), opts.resume) {
-        Ok(results) => results,
+    let dispatch =
+        run_distributed(&opts, &sensitivity_fingerprint(&config), config.points.len(), |options| {
+            run_sensitivity_with(&config, options)
+        });
+    let results = match dispatch {
+        Ok(DistribOutcome::Ran(results)) => results,
+        Ok(DistribOutcome::WorkerDone { .. }) => return,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);

@@ -5,11 +5,13 @@
 //!
 //! ```text
 //! cargo run --release -p dg-experiments --bin table2 -- [--scenarios N] [--trials N] [--full] \
-//!     [--suite NAME|FILE] [--heuristics NAME[,NAME...]] [--out DIR] [--resume]
+//!     [--suite NAME|FILE] [--heuristics NAME[,NAME...]] [--out DIR] [--resume] \
+//!     [--worker-shard I/N | --spawn-workers N]
 //! ```
 
 use dg_experiments::cli::{progress_reporter, CliOptions};
-use dg_experiments::executor::{resolve_threads, run_campaign_with};
+use dg_experiments::distrib::{run_distributed, DistribOutcome};
+use dg_experiments::executor::{config_fingerprint, resolve_threads, run_campaign_with};
 use dg_experiments::tables::{filter_by_diff, render_table, table_comparison};
 
 fn main() {
@@ -45,9 +47,13 @@ fn main() {
         config.engine,
         resolve_threads(config.threads),
     );
-    let outcome = match run_campaign_with(&config, &opts.executor(), progress_reporter(opts.quiet))
-    {
-        Ok(outcome) => outcome,
+    let dispatch =
+        run_distributed(&opts, &config_fingerprint(&config), config.points().len(), |options| {
+            run_campaign_with(&config, options, progress_reporter(opts.quiet))
+        });
+    let outcome = match dispatch {
+        Ok(DistribOutcome::Ran(outcome)) => outcome,
+        Ok(DistribOutcome::WorkerDone { .. }) => return,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);

@@ -21,11 +21,19 @@
 //! --out DIR        write manifest + JSONL shards to DIR as
 //!                  experiment points complete
 //! --resume         skip instances already present in --out
+//! --worker-shard I/N  execute only shard I of an N-way point
+//!                  split into the shared --out directory,
+//!                  recording manifest.part-I.json (see
+//!                  [`crate::distrib`])
+//! --spawn-workers N   coordinator mode: spawn N worker-shard
+//!                  child processes of this binary, wait, merge
+//!                  their parts into manifest.json, then render
 //! --full           the paper's full scale (10×10, cap 10⁶)
 //! --quiet          suppress progress output
 //! ```
 
 use crate::campaign::CampaignConfig;
+use crate::distrib::WorkerShard;
 use crate::executor::ExecutorOptions;
 use crate::suite::SuiteSpec;
 use dg_heuristics::{all_heuristic_names, HeuristicSpec};
@@ -63,6 +71,12 @@ pub struct CliOptions {
     pub out: Option<PathBuf>,
     /// Resume from the artifact store (`--resume`; requires `--out`).
     pub resume: bool,
+    /// Execute only one shard of an N-way point split
+    /// (`--worker-shard I/N`; requires `--out`, 1-based index).
+    pub worker_shard: Option<(usize, usize)>,
+    /// Coordinator mode (`--spawn-workers N`; requires `--out`): spawn N
+    /// worker-shard child processes, wait, merge, render.
+    pub spawn_workers: Option<usize>,
     /// Suppress progress output.
     pub quiet: bool,
 }
@@ -83,6 +97,8 @@ impl Default for CliOptions {
             engine: SimMode::default(),
             out: None,
             resume: false,
+            worker_shard: None,
+            spawn_workers: None,
             quiet: false,
         }
     }
@@ -118,6 +134,8 @@ impl CliOptions {
                 "--heuristics" => opts.heuristics = Some(parse_heuristics(&take(arg)?)?),
                 "--out" => opts.out = Some(PathBuf::from(take(arg)?)),
                 "--resume" => opts.resume = true,
+                "--worker-shard" => opts.worker_shard = Some(parse_shard(&take(arg)?)?),
+                "--spawn-workers" => opts.spawn_workers = Some(parse_num(&take(arg)?, arg)?),
                 "--full" => {
                     opts.scenarios = 10;
                     opts.trials = 10;
@@ -139,6 +157,38 @@ impl CliOptions {
         }
         if opts.workers == Some(0) {
             return Err("--workers must be positive".to_string());
+        }
+        if opts.worker_shard.is_some() && opts.spawn_workers.is_some() {
+            return Err("--worker-shard and --spawn-workers cannot be combined \
+                        (a process is either a worker or the coordinator)"
+                .to_string());
+        }
+        if let Some((index, total)) = opts.worker_shard {
+            if total == 0 {
+                return Err("--worker-shard: the shard count must be positive".to_string());
+            }
+            if index == 0 {
+                return Err(format!("--worker-shard {index}/{total}: shards are numbered from 1"));
+            }
+            if index > total {
+                return Err(format!(
+                    "--worker-shard {index}/{total}: index exceeds the shard count"
+                ));
+            }
+            if opts.out.is_none() {
+                return Err(
+                    "--worker-shard requires --out (workers share one store directory)".to_string()
+                );
+            }
+        }
+        if let Some(n) = opts.spawn_workers {
+            if n == 0 {
+                return Err("--spawn-workers must be positive".to_string());
+            }
+            if opts.out.is_none() {
+                return Err("--spawn-workers requires --out (workers share one store directory)"
+                    .to_string());
+            }
         }
         Ok(opts)
     }
@@ -211,18 +261,77 @@ impl CliOptions {
     }
 
     /// Build the executor options (raw retention on — the binaries' table and
-    /// figure code consumes retained results — plus `--out`/`--resume`).
+    /// figure code consumes retained results — plus `--out`/`--resume` and
+    /// the `--worker-shard` point-range restriction).
     pub fn executor(&self) -> ExecutorOptions {
         let mut options = ExecutorOptions::new().retain_raw(true);
         if let Some(dir) = &self.out {
             options = options.store(dir.clone(), self.resume);
         }
+        if let Some((index, total)) = self.worker_shard {
+            options =
+                options.worker_shard(WorkerShard::new(index, total).expect("validated by parse"));
+        }
         options
+    }
+
+    /// Reconstruct the argument vector a coordinator passes to worker-shard
+    /// child `index` of `total`: every result-determining flag of this
+    /// invocation, plus `--worker-shard index/total` and a forced `--quiet`
+    /// (N children interleaving progress lines is unreadable). Excludes
+    /// `--spawn-workers` (the child is a worker, not a coordinator) and
+    /// `--full` (already expanded into scenarios/trials/cap at parse time);
+    /// parsing the result round-trips to these options with the shard set.
+    pub fn worker_args(&self, index: usize, total: usize) -> Vec<String> {
+        let mut args: Vec<String> = [
+            ("--scenarios", self.scenarios.to_string()),
+            ("--trials", self.trials.to_string()),
+            ("--cap", self.max_slots.to_string()),
+            ("--threads", self.threads.to_string()),
+            ("--seed", self.seed.to_string()),
+            ("--engine", self.engine.to_string()),
+        ]
+        .into_iter()
+        .flat_map(|(flag, value)| [flag.to_string(), value])
+        .collect();
+        if let Some(suite) = &self.suite {
+            args.extend(["--suite".to_string(), suite.clone()]);
+        }
+        if let Some(workers) = self.workers {
+            args.extend(["--workers".to_string(), workers.to_string()]);
+        }
+        if let Some(ncom) = &self.ncom_values {
+            args.extend(["--ncom".to_string(), crate::executor::join(ncom)]);
+        }
+        if let Some(wmin) = &self.wmin_values {
+            args.extend(["--wmin".to_string(), crate::executor::join(wmin)]);
+        }
+        if let Some(heuristics) = &self.heuristics {
+            let names: Vec<String> = heuristics.iter().map(|h| h.name()).collect();
+            args.extend(["--heuristics".to_string(), names.join(",")]);
+        }
+        if let Some(out) = &self.out {
+            args.extend(["--out".to_string(), out.display().to_string()]);
+        }
+        if self.resume {
+            args.push("--resume".to_string());
+        }
+        args.extend(["--worker-shard".to_string(), format!("{index}/{total}")]);
+        args.push("--quiet".to_string());
+        args
     }
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
     value.parse().map_err(|_| format!("invalid value '{value}' for {flag}"))
+}
+
+/// Parse a `--worker-shard I/N` value into `(index, total)`; range checks
+/// happen with the other cross-flag validation at the end of `parse`.
+fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+    let err = || format!("invalid value '{value}' for --worker-shard (expected I/N, e.g. 2/4)");
+    let (index, total) = value.split_once('/').ok_or_else(err)?;
+    Ok((index.trim().parse().map_err(|_| err())?, total.trim().parse().map_err(|_| err())?))
 }
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
@@ -258,7 +367,7 @@ fn help_text() -> String {
      [--suite paper|volatile|largegrid|commbound|massive|FILE] [--workers N] \
      [--ncom a,b,c] [--wmin a,b,c] [--heuristics NAME[,NAME...]] \
      [--threads N (0 = auto)] [--seed N] [--engine slot|event] [--out DIR] \
-     [--resume] [--full] [--quiet]"
+     [--resume] [--worker-shard I/N] [--spawn-workers N] [--full] [--quiet]"
         .to_string()
 }
 
@@ -453,6 +562,101 @@ mod tests {
         // Unknown suites fail with the preset list in the message.
         let err = CliOptions::parse(["--suite", "warp"]).unwrap().campaign().unwrap_err();
         assert!(err.contains("paper, volatile, largegrid, commbound, massive"), "{err}");
+    }
+
+    #[test]
+    fn worker_shard_flag_parses_and_reaches_the_executor() {
+        let opts = CliOptions::parse(["--worker-shard", "2/4", "--out", "runs/x"]).unwrap();
+        assert_eq!(opts.worker_shard, Some((2, 4)));
+        let executor = opts.executor();
+        assert_eq!(executor.part, Some(WorkerShard { index: 2, total: 4 }));
+        // Without the flag no shard restriction reaches the executor.
+        assert_eq!(CliOptions::parse(Vec::<&str>::new()).unwrap().executor().part, None);
+    }
+
+    #[test]
+    fn worker_shard_flag_rejects_malformed_and_out_of_range_values() {
+        // Malformed values name the flag and show the expected shape.
+        for value in ["3", "a/b", "3/", "/2", "3-2"] {
+            let err = CliOptions::parse(["--worker-shard", value, "--out", "d"]).unwrap_err();
+            assert!(err.contains("--worker-shard"), "{value}: {err}");
+            assert!(err.contains("expected I/N"), "{value}: {err}");
+        }
+        // Out-of-range indices are rejected with the flag named.
+        let err = CliOptions::parse(["--worker-shard", "3/2", "--out", "d"]).unwrap_err();
+        assert!(err.contains("--worker-shard 3/2"), "{err}");
+        assert!(err.contains("exceeds the shard count"), "{err}");
+        let err = CliOptions::parse(["--worker-shard", "0/4", "--out", "d"]).unwrap_err();
+        assert!(err.contains("--worker-shard 0/4"), "{err}");
+        assert!(err.contains("numbered from 1"), "{err}");
+        let err = CliOptions::parse(["--worker-shard", "1/0", "--out", "d"]).unwrap_err();
+        assert!(err.contains("--worker-shard"), "{err}");
+        assert!(err.contains("positive"), "{err}");
+        // Both distribution flags require the shared store directory.
+        let err = CliOptions::parse(["--worker-shard", "1/2"]).unwrap_err();
+        assert!(err.contains("--worker-shard requires --out"), "{err}");
+        let err = CliOptions::parse(["--spawn-workers", "3"]).unwrap_err();
+        assert!(err.contains("--spawn-workers requires --out"), "{err}");
+        assert!(CliOptions::parse(["--spawn-workers", "0", "--out", "d"])
+            .unwrap_err()
+            .contains("--spawn-workers must be positive"));
+    }
+
+    #[test]
+    fn worker_and_spawn_flags_cannot_be_combined() {
+        let err =
+            CliOptions::parse(["--worker-shard", "1/3", "--spawn-workers", "3", "--out", "d"])
+                .unwrap_err();
+        assert!(err.contains("--worker-shard"), "{err}");
+        assert!(err.contains("--spawn-workers"), "{err}");
+        assert!(err.contains("cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn worker_args_round_trip_to_the_same_options_with_the_shard_set() {
+        let opts = CliOptions::parse([
+            "--scenarios",
+            "4",
+            "--trials",
+            "2",
+            "--cap",
+            "50000",
+            "--suite",
+            "volatile",
+            "--workers",
+            "30",
+            "--ncom",
+            "5,20",
+            "--wmin",
+            "1,3",
+            "--heuristics",
+            "IE,Y-IE",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
+            "--engine",
+            "slot",
+            "--out",
+            "runs/shared",
+            "--resume",
+        ])
+        .unwrap();
+        let args = opts.worker_args(2, 3);
+        let child = CliOptions::parse(args.iter().map(String::as_str)).unwrap();
+        let mut expected = opts.clone();
+        expected.worker_shard = Some((2, 3));
+        expected.quiet = true;
+        assert_eq!(child, expected);
+        assert!(!args.contains(&"--spawn-workers".to_string()));
+        // Defaults round-trip too, even from a coordinator invocation.
+        let coordinator = CliOptions::parse(["--spawn-workers", "3", "--out", "d"]).unwrap();
+        let child =
+            CliOptions::parse(coordinator.worker_args(1, 3).iter().map(String::as_str)).unwrap();
+        assert_eq!(child.worker_shard, Some((1, 3)));
+        assert_eq!(child.spawn_workers, None);
+        assert!(child.quiet);
+        assert_eq!(child.out, coordinator.out);
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Multi-process sharded campaign execution: the coordinator/worker protocol
+//! behind `--worker-shard I/N` and `--spawn-workers N`.
+//!
+//! The resumable store (PR 3) already gives campaigns file-level artifacts —
+//! per-point JSONL shards written atomically in canonical order, identified
+//! by a configuration fingerprint. This module generalizes it into a
+//! distribution protocol with **zero shared mutable state**:
+//!
+//! 1. **Partition** — [`shard_range`] splits the campaign's point list into
+//!    `N` contiguous, balanced ranges. Points (not raw `(point, scenario)`
+//!    jobs) are the unit because a point is the shard-file granularity: a
+//!    contiguous point range is also a contiguous job range, so each worker
+//!    reuses the in-order streaming executor unchanged within its slice and
+//!    writes exactly its own `point-*.jsonl` files, byte-identical to a
+//!    single-process run's.
+//! 2. **Execute** — a process run with `--worker-shard I/N` (any experiment
+//!    binary) executes only its range into the shared `--out` directory and
+//!    records completion as `manifest.part-I.json` (atomic, fingerprinted).
+//!    Workers never write `manifest.json` and never delete files: the
+//!    directory is append-only from their perspective.
+//! 3. **Merge** — [`merge_parts`] validates that the `N` part manifests tile
+//!    the point space exactly (matching fingerprints, no gap, no overlap, no
+//!    missing shard file), then atomically writes the completed
+//!    `manifest.json` and deletes the part manifests — leaving bytes
+//!    indistinguishable from a single-process `--threads 1` run (the golden
+//!    corpus pins this).
+//!
+//! [`run_distributed`] is the orchestration entry the binaries share: it
+//! dispatches a plain run, a worker-shard run, or a coordinator run
+//! ([`spawn_and_merge`]: spawn `N` children of the current executable over
+//! the same flags, wait, merge, then render from the merged store via a
+//! resume pass that executes nothing).
+
+use crate::cli::CliOptions;
+use crate::executor::ExecutorOptions;
+use crate::store::{part_manifest_name, shard_name, CampaignStore, MANIFEST_NAME};
+use std::ops::Range;
+use std::process::Command;
+
+/// One worker shard's identity within an `N`-way split: 1-based `index` of
+/// `total` (`--worker-shard index/total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerShard {
+    /// 1-based shard index (`1..=total`).
+    pub index: usize,
+    /// Total number of shards in the split.
+    pub total: usize,
+}
+
+impl WorkerShard {
+    /// Validated constructor: `1 <= index <= total`.
+    pub fn new(index: usize, total: usize) -> Result<WorkerShard, String> {
+        if total == 0 {
+            return Err("worker shard: total must be positive".to_string());
+        }
+        if index == 0 || index > total {
+            return Err(format!("worker shard {index}/{total}: index must be within 1..={total}"));
+        }
+        Ok(WorkerShard { index, total })
+    }
+
+    /// The contiguous point range this shard executes out of `num_points`.
+    pub fn points(&self, num_points: usize) -> Range<usize> {
+        shard_range(self.index, self.total, num_points)
+    }
+}
+
+/// The contiguous, balanced point range of shard `index` (1-based) of
+/// `total`: ranges tile `0..num_points` exactly, in index order, with sizes
+/// differing by at most one. With `total > num_points` the surplus shards
+/// get empty ranges (a legal, if idle, worker).
+///
+/// # Panics
+/// Panics if `index` is not within `1..=total`.
+pub fn shard_range(index: usize, total: usize, num_points: usize) -> Range<usize> {
+    assert!(index >= 1 && index <= total, "shard index {index} out of 1..={total}");
+    (index - 1) * num_points / total..index * num_points / total
+}
+
+/// What a successful merge stitched together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Part manifests consumed.
+    pub parts: usize,
+    /// Points covered (= shard files verified present).
+    pub points: usize,
+}
+
+/// Stitch `total` part manifests into the single-process `manifest.json`.
+///
+/// Refuses — leaving the directory untouched — when any part manifest is
+/// missing or unparseable, carries a different configuration fingerprint,
+/// belongs to a different split width, overlaps its neighbor, leaves a gap
+/// in `0..num_points`, or when a covered point's shard file is absent.
+/// On success the completed manifest is written atomically, the part
+/// manifests are deleted, and the directory is byte-identical to what a
+/// single-process run of the same configuration would have left.
+pub fn merge_parts(
+    store: &CampaignStore,
+    total: usize,
+    num_points: usize,
+) -> Result<MergeReport, String> {
+    if total == 0 {
+        return Err("merge: a split has at least one part".to_string());
+    }
+    let mut cursor = 0usize;
+    for part in 1..=total {
+        let manifest = store.read_part(part)?;
+        let name = part_manifest_name(part);
+        if manifest.fingerprint != store.fingerprint() {
+            return Err(format!(
+                "merge: {name} was written under a different configuration \
+                 (fingerprint mismatch); re-run every worker with the same flags"
+            ));
+        }
+        if manifest.part != part || manifest.of != total {
+            return Err(format!(
+                "merge: {name} records shard {}/{} but the coordinator expected {part}/{total}",
+                manifest.part, manifest.of
+            ));
+        }
+        if manifest.start < cursor {
+            return Err(format!(
+                "merge: overlapping shards — part {part} starts at point {} but points up to {} \
+                 are already covered",
+                manifest.start, cursor
+            ));
+        }
+        if manifest.start > cursor {
+            return Err(format!(
+                "merge: missing range — points {cursor}..{} are covered by no part",
+                manifest.start
+            ));
+        }
+        if manifest.end < manifest.start || manifest.end > num_points {
+            return Err(format!(
+                "merge: {name} covers an invalid point range {}..{} (campaign has {num_points} \
+                 points)",
+                manifest.start, manifest.end
+            ));
+        }
+        cursor = manifest.end;
+    }
+    if cursor != num_points {
+        return Err(format!(
+            "merge: missing range — points {cursor}..{num_points} are covered by no part"
+        ));
+    }
+    for point in 0..num_points {
+        let path = store.dir().join(shard_name(point));
+        if !path.is_file() {
+            return Err(format!(
+                "merge: missing shard {} — point {point} is claimed by a part manifest but was \
+                 never written",
+                path.display()
+            ));
+        }
+    }
+    store.finalize()?;
+    store.remove_part_manifests()?;
+    Ok(MergeReport { parts: total, points: num_points })
+}
+
+/// Coordinator body: spawn `total` worker-shard children of the **current
+/// executable** over the same flags (`CliOptions::worker_args`), wait for
+/// all of them — reporting every failed worker, not just the first — and
+/// merge their part manifests into the completed store.
+pub fn spawn_and_merge(
+    opts: &CliOptions,
+    store: &CampaignStore,
+    num_points: usize,
+) -> Result<MergeReport, String> {
+    let total =
+        opts.spawn_workers.ok_or_else(|| "spawn_and_merge requires --spawn-workers".to_string())?;
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("--spawn-workers: cannot locate the current executable: {e}"))?;
+    let mut children = Vec::with_capacity(total);
+    for index in 1..=total {
+        let child = Command::new(&exe)
+            .args(opts.worker_args(index, total))
+            .spawn()
+            .map_err(|e| format!("--spawn-workers: cannot spawn worker {index}/{total}: {e}"))?;
+        children.push((index, child));
+    }
+    let mut failures = Vec::new();
+    for (index, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("worker {index}/{total} exited with {status}")),
+            Err(e) => failures.push(format!("worker {index}/{total} failed to wait: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!("--spawn-workers: {}", failures.join("; ")));
+    }
+    merge_parts(store, total, num_points)
+}
+
+/// How a distributed dispatch ended.
+#[derive(Debug)]
+pub enum DistribOutcome<T> {
+    /// The run produced a renderable outcome: either a plain single-process
+    /// run, or a coordinator run after a successful merge (loaded back from
+    /// the merged store by a resume pass).
+    Ran(T),
+    /// This process was worker shard `index` of `total`: its part manifest
+    /// and shards are on disk, there is nothing to render here.
+    WorkerDone {
+        /// 1-based shard index of this worker.
+        index: usize,
+        /// Total shard count of the split.
+        total: usize,
+    },
+}
+
+/// Shared orchestration entry of the experiment binaries: dispatch `run`
+/// (a closure over one of the campaign/gap/sensitivity runners) according to
+/// the distribution flags in `opts`.
+///
+/// * Plain run (no `--worker-shard`, no `--spawn-workers`): `run` executes
+///   with `opts.executor()` exactly as before this module existed.
+/// * `--worker-shard I/N`: `run` executes only shard `I`'s point range (raw
+///   retention off — there is nothing to render in a worker) and the part
+///   manifest lands in the store; returns [`DistribOutcome::WorkerDone`].
+/// * `--spawn-workers N`: open the shared store (stamping `fingerprint` for
+///   the workers to check), spawn and wait on `N` children, merge, then
+///   re-dispatch `run` as a resume pass over the merged store — it executes
+///   nothing, loads every record, and returns the same outcome a
+///   single-process run would have.
+pub fn run_distributed<T>(
+    opts: &CliOptions,
+    fingerprint: &str,
+    num_points: usize,
+    run: impl Fn(&ExecutorOptions) -> Result<T, String>,
+) -> Result<DistribOutcome<T>, String> {
+    if let Some((index, total)) = opts.worker_shard {
+        let shard = WorkerShard::new(index, total)?;
+        let mut options = opts.executor();
+        options.retain_raw = false;
+        run(&options)?;
+        if !opts.quiet {
+            let range = shard.points(num_points);
+            eprintln!(
+                "  worker {index}/{total}: points {}..{} done ({} written)",
+                range.start,
+                range.end,
+                part_manifest_name(index)
+            );
+        }
+        return Ok(DistribOutcome::WorkerDone { index, total });
+    }
+    if opts.spawn_workers.is_none() {
+        return run(&opts.executor()).map(DistribOutcome::Ran);
+    }
+    let dir = opts.out.as_ref().ok_or_else(|| "--spawn-workers requires --out".to_string())?;
+    // The coordinator owns the shared store: a fresh open clears stale
+    // shards and part manifests and stamps the fingerprint every worker
+    // validates against; --resume keeps existing shards so workers skip
+    // instances already on disk.
+    let store = CampaignStore::open(dir, fingerprint.to_string(), opts.resume)?;
+    let report = spawn_and_merge(opts, &store, num_points)?;
+    eprintln!(
+        "  merged manifest: {} parts -> {} ({} point shards)",
+        report.parts,
+        dir.join(MANIFEST_NAME).display(),
+        report.points
+    );
+    // Render from the merged store: a resume pass loads every record and
+    // executes nothing, so the outcome equals a single-process run's.
+    let mut options = opts.executor();
+    options.resume = true;
+    run(&options).map(DistribOutcome::Ran)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dg-distrib-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_point_space_exactly_and_balanced() {
+        for num_points in [0usize, 1, 2, 5, 7, 12, 100] {
+            for total in [1usize, 2, 3, 5, 8, 13] {
+                let mut cursor = 0usize;
+                let mut sizes = Vec::new();
+                for index in 1..=total {
+                    let range = shard_range(index, total, num_points);
+                    assert_eq!(range.start, cursor, "{index}/{total} over {num_points}");
+                    assert!(range.end >= range.start);
+                    cursor = range.end;
+                    sizes.push(range.len());
+                }
+                assert_eq!(cursor, num_points, "{total} shards over {num_points} points");
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced split {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_shard_validates_its_bounds() {
+        assert!(WorkerShard::new(1, 1).is_ok());
+        assert!(WorkerShard::new(3, 3).is_ok());
+        assert!(WorkerShard::new(0, 3).is_err());
+        assert!(WorkerShard::new(4, 3).is_err());
+        assert!(WorkerShard::new(1, 0).is_err());
+        assert_eq!(WorkerShard::new(2, 3).unwrap().points(6), 2..4);
+    }
+
+    /// Write a complete fake store for `num_points` with the given part
+    /// ranges, so merge validation can be exercised without running
+    /// campaigns.
+    fn fake_parts(dir: &Path, ranges: &[Range<usize>], num_points: usize) -> CampaignStore {
+        let store = CampaignStore::open(dir, "{\"k\":1}".to_string(), false).unwrap();
+        for point in 0..num_points {
+            fs::write(dir.join(shard_name(point)), format!("{{\"point\":{point}}}\n")).unwrap();
+        }
+        for (i, range) in ranges.iter().enumerate() {
+            store.write_part(i + 1, ranges.len(), range.clone()).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn merge_accepts_an_exact_tiling_and_cleans_up() {
+        let dir = temp_dir("ok");
+        let store = fake_parts(&dir, &[0..2, 2..2, 2..5], 5);
+        let report = merge_parts(&store, 3, 5).unwrap();
+        assert_eq!(report, MergeReport { parts: 3, points: 5 });
+        assert!(store.is_complete().unwrap());
+        for part in 1..=3 {
+            assert!(!dir.join(part_manifest_name(part)).exists(), "part {part} survived merge");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_refuses_gaps_overlaps_and_missing_parts() {
+        let cases: [(&str, &[Range<usize>], &str); 4] = [
+            ("gap", &[0..2, 3..5], "missing range"),
+            ("overlap", &[0..3, 2..5], "overlapping shards"),
+            ("short", &[0..2, 2..4], "missing range"),
+            ("invalid", &[0..2, 2..9], "invalid point range"),
+        ];
+        for (name, ranges, needle) in cases {
+            let dir = temp_dir(name);
+            let store = fake_parts(&dir, ranges, 5);
+            let err = merge_parts(&store, ranges.len(), 5).unwrap_err();
+            assert!(err.contains(needle), "{name}: {err}");
+            assert!(!store.is_complete().unwrap(), "{name}: refused merge must not finalize");
+            assert!(
+                dir.join(part_manifest_name(1)).exists(),
+                "{name}: refused merge deleted parts"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+        // A missing part manifest names the worker that never finished.
+        let dir = temp_dir("missing-part");
+        let store = fake_parts(&dir, &[], 5);
+        store.write_part(1, 2, 0..3).unwrap();
+        let err = merge_parts(&store, 2, 5).unwrap_err();
+        assert!(err.contains("worker 2"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_refuses_fingerprint_and_width_mismatches() {
+        let dir = temp_dir("fp");
+        let store = fake_parts(&dir, std::slice::from_ref(&(0..5)), 5);
+        // A part written under another fingerprint (a worker run with
+        // different flags never passes open_worker's check, so forge the
+        // file directly).
+        fs::write(
+            dir.join(part_manifest_name(1)),
+            "{\"version\":1,\"part\":1,\"of\":1,\"points\":[0,5],\"config\":{\"k\":2}}\n",
+        )
+        .unwrap();
+        let err = merge_parts(&store, 1, 5).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        // A part from a different split width.
+        store.write_part(1, 4, 0..5).unwrap();
+        let err = merge_parts(&store, 1, 5).unwrap_err();
+        assert!(err.contains("expected 1/1"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_refuses_when_a_claimed_shard_file_is_absent() {
+        let dir = temp_dir("noshard");
+        let store = fake_parts(&dir, std::slice::from_ref(&(0..3)), 3);
+        fs::remove_file(dir.join(shard_name(1))).unwrap();
+        let err = merge_parts(&store, 1, 3).unwrap_err();
+        assert!(err.contains("missing shard"), "{err}");
+        assert!(err.contains("point 1"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -30,6 +30,7 @@
 //! byte-identical to an uninterrupted run.
 
 use crate::campaign::{CampaignConfig, CampaignResults, InstanceResult};
+use crate::distrib::WorkerShard;
 use crate::runner::{run_instance_on, trial_seed, InstanceSpec};
 use crate::store::{encode_instance, CampaignStore, ShardWriter, StoredInstance};
 use crate::stream::CampaignAccumulator;
@@ -63,6 +64,12 @@ pub struct ExecutorOptions {
     /// Reference heuristic for the streaming accumulator
     /// ([`DEFAULT_REFERENCE`] when `None`).
     pub reference: Option<String>,
+    /// Execute only this worker shard's contiguous point range
+    /// (`--worker-shard I/N`) and record completion as a part manifest
+    /// instead of finalizing `manifest.json`. Requires
+    /// [`ExecutorOptions::out`]; the store is opened in worker mode (never
+    /// cleared, never claimed).
+    pub part: Option<WorkerShard>,
 }
 
 impl ExecutorOptions {
@@ -82,6 +89,48 @@ impl ExecutorOptions {
         self.out = Some(dir.into());
         self.resume = resume;
         self
+    }
+
+    /// Restrict execution to one worker shard's point range.
+    pub fn worker_shard(mut self, shard: WorkerShard) -> ExecutorOptions {
+        self.part = Some(shard);
+        self
+    }
+}
+
+/// Open the store dictated by `options`: a plain/coordinator open claims the
+/// directory (clearing stale artifacts on a fresh open), a worker-shard open
+/// only validates it. Shared by the campaign, gap and sensitivity executors.
+pub(crate) fn open_store(
+    options: &ExecutorOptions,
+    fingerprint: String,
+) -> Result<Option<CampaignStore>, String> {
+    match (&options.out, options.part) {
+        (Some(dir), Some(_)) => {
+            Ok(Some(CampaignStore::open_worker(dir, fingerprint, options.resume)?))
+        }
+        (Some(dir), None) => Ok(Some(CampaignStore::open(dir, fingerprint, options.resume)?)),
+        (None, Some(_)) => {
+            Err("a worker shard requires an output directory (--worker-shard needs --out)"
+                .to_string())
+        }
+        (None, None) if options.resume => Err("resume requires an output directory".to_string()),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Seal the store at the end of a run: a worker shard records its part
+/// manifest (`manifest.part-I.json`), everything else finalizes
+/// `manifest.json`. No-op without a store.
+pub(crate) fn finalize_store(
+    store: Option<&CampaignStore>,
+    part: Option<WorkerShard>,
+    num_points: usize,
+) -> Result<(), String> {
+    let Some(store) = store else { return Ok(()) };
+    match part {
+        Some(shard) => store.write_part(shard.index, shard.total, shard.points(num_points)),
+        None => store.finalize(),
     }
 }
 
@@ -242,13 +291,20 @@ where
     let total = config.total_runs();
     let heuristic_names: Vec<String> = config.heuristics.iter().map(|h| h.name()).collect();
 
+    // A worker shard executes only its contiguous point range; a plain run
+    // covers everything. Slots, seeds and shard names stay global either
+    // way, so a shard's bytes equal the same points' bytes of a full run.
+    let point_range = match options.part {
+        Some(shard) => shard.points(points.len()),
+        None => 0..points.len(),
+    };
+    let job_offset = point_range.start * scenarios;
+    let num_jobs = point_range.len() * scenarios;
+    let local_total = num_jobs * per_scenario;
+
     // Store setup and resume prefill: `prefilled[slot]` holds instances the
     // store already has; workers skip them.
-    let store = match &options.out {
-        Some(dir) => Some(CampaignStore::open(dir, config_fingerprint(config), options.resume)?),
-        None if options.resume => return Err("resume requires an output directory".to_string()),
-        None => None,
-    };
+    let store = open_store(options, config_fingerprint(config))?;
     let mut prefilled: Vec<Option<InstanceResult>> = vec![None; total];
     if options.resume {
         let store = store.as_ref().expect("resume requires a store");
@@ -269,7 +325,6 @@ where
     let eval_caches = AtomicUsize::new(0);
     let group_sets_computed = AtomicUsize::new(0);
     let group_cache_hits = AtomicUsize::new(0);
-    let num_jobs = points.len() * scenarios;
     let prefilled_ref = &prefilled;
 
     // One job per (point, scenario): generate the scenario once (skipped
@@ -277,7 +332,8 @@ where
     // trials; each trial realizes availability once and replays it for every
     // heuristic that still needs to run, and the whole heuristic × trial
     // fan-out of the job evaluates through one shared EvalCache.
-    let worker = |job: usize| -> JobOutput {
+    let worker = |local: usize| -> JobOutput {
+        let job = job_offset + local;
         let point_index = job / scenarios;
         let scenario_index = job % scenarios;
         let params = points[point_index];
@@ -340,7 +396,7 @@ where
                 };
                 block.push(result);
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                on_progress(d, total);
+                on_progress(d, local_total);
             }
         }
         if let Some(cache) = &eval_cache {
@@ -362,7 +418,8 @@ where
         if options.retain_raw { Vec::with_capacity(total) } else { Vec::new() };
     let mut shards = ShardWriter::new(store.as_ref(), scenarios);
 
-    fan_out(num_jobs, resolve_threads(config.threads), worker, |job, output: JobOutput| {
+    fan_out(num_jobs, resolve_threads(config.threads), worker, |local, output: JobOutput| {
+        let job = job_offset + local;
         let point_index = job / scenarios;
         streaming.consume_scenario(point_index, &output.block);
         let keep_going = shards.consume(
@@ -377,14 +434,12 @@ where
     });
 
     shards.finish()?;
-    if let Some(store) = &store {
-        store.finalize()?;
-    }
+    finalize_store(store.as_ref(), options.part, points.len())?;
     Ok(CampaignOutcome {
         results: CampaignResults { config: config.clone(), results: raw },
         streaming,
         stats: ExecutorStats {
-            total_instances: total,
+            total_instances: local_total,
             executed_instances: executed.into_inner(),
             resumed_instances: resumed.into_inner(),
             trials_realized: trials_realized.into_inner(),
@@ -820,6 +875,67 @@ mod tests {
         }
         let _ = fs::remove_dir_all(&dir);
         let _ = fs::remove_dir_all(&eight);
+    }
+
+    #[test]
+    fn worker_shards_merge_to_a_byte_identical_store() {
+        use crate::distrib::{merge_parts, WorkerShard};
+        use crate::store::part_manifest_name;
+        let single = temp_dir("single");
+        let config = test_config();
+        run_campaign_with(&config, &ExecutorOptions::new().store(&single, false), |_, _| {})
+            .unwrap();
+
+        // Simulate a 3-worker split in-process: coordinator claims the shared
+        // directory, each "worker" executes its shard range into it.
+        let shared = temp_dir("sharded");
+        let fingerprint = config_fingerprint(&config);
+        let store = CampaignStore::open(&shared, fingerprint, false).unwrap();
+        let num_points = config.points().len();
+        let h = config.heuristics.len();
+        for index in 1..=3 {
+            let shard = WorkerShard::new(index, 3).unwrap();
+            let options = ExecutorOptions::new().store(&shared, false).worker_shard(shard);
+            let outcome = run_campaign_with(&config, &options, |_, _| {}).unwrap();
+            assert_eq!(
+                outcome.stats.total_instances,
+                shard.points(num_points).len() * 2 * 2 * h,
+                "worker {index} executed outside its range"
+            );
+            assert!(shared.join(part_manifest_name(index)).is_file());
+            assert!(!store.is_complete().unwrap(), "a worker must not finalize the manifest");
+        }
+        let report = merge_parts(&store, 3, num_points).unwrap();
+        assert_eq!(report.points, num_points);
+        assert_eq!(
+            fs::read(shared.join(MANIFEST_NAME)).unwrap(),
+            fs::read(single.join(MANIFEST_NAME)).unwrap(),
+            "merged manifest differs from the single-process manifest"
+        );
+        for p in 0..num_points {
+            assert_eq!(
+                fs::read(shared.join(shard_name(p))).unwrap(),
+                fs::read(single.join(shard_name(p))).unwrap(),
+                "shard {p} differs between the 3-worker split and the single-process run"
+            );
+        }
+        // The merged store resumes like any single-process store.
+        let resumed =
+            run_campaign_with(&config, &ExecutorOptions::new().store(&shared, true), |_, _| {})
+                .unwrap();
+        assert_eq!(resumed.stats.executed_instances, 0);
+        assert_eq!(resumed.stats.resumed_instances, config.total_runs());
+        let _ = fs::remove_dir_all(&single);
+        let _ = fs::remove_dir_all(&shared);
+    }
+
+    #[test]
+    fn worker_shard_without_out_dir_errors() {
+        use crate::distrib::WorkerShard;
+        let config = CampaignConfig::smoke();
+        let options = ExecutorOptions::new().worker_shard(WorkerShard::new(1, 2).unwrap());
+        let err = run_campaign_with(&config, &options, |_, _| {}).unwrap_err();
+        assert!(err.contains("--worker-shard needs --out"), "{err}");
     }
 
     fn table_of(results: &CampaignResults) -> String {

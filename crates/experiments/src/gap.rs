@@ -31,7 +31,7 @@
 use crate::campaign::CampaignConfig;
 use crate::executor::{fan_out, join, resolve_threads, scenario_seed};
 use crate::runner::{run_instance_logged, trial_seed, InstanceSpec};
-use crate::store::{CampaignStore, FieldParser, ShardWriter};
+use crate::store::{FieldParser, ShardWriter};
 use crate::suite::fingerprint_suffix;
 use dg_analysis::EvalCache;
 use dg_availability::{AvailabilityModel, RealizedTrial};
@@ -397,11 +397,17 @@ where
     let total = config.total_runs();
     let heuristic_names: Vec<String> = config.heuristics.iter().map(|h| h.name()).collect();
 
-    let store = match &options.out {
-        Some(dir) => Some(CampaignStore::open(dir, gap_fingerprint(config), options.resume)?),
-        None if options.resume => return Err("resume requires an output directory".to_string()),
-        None => None,
+    // A worker shard executes only its contiguous point range (see
+    // `crate::distrib`); slots and shard names stay global.
+    let point_range = match options.part {
+        Some(shard) => shard.points(points.len()),
+        None => 0..points.len(),
     };
+    let job_offset = point_range.start * scenarios;
+    let num_jobs = point_range.len() * scenarios;
+    let local_total = num_jobs * per_scenario;
+
+    let store = crate::executor::open_store(options, gap_fingerprint(config))?;
     let mut prefilled: Vec<Option<GapRecord>> = vec![None; total];
     if options.resume {
         let store = store.as_ref().expect("resume requires a store");
@@ -419,14 +425,14 @@ where
     let trials_projected = AtomicUsize::new(0);
     let exact_trials = AtomicUsize::new(0);
     let greedy_trials = AtomicUsize::new(0);
-    let num_jobs = points.len() * scenarios;
     let prefilled_ref = &prefilled;
 
     // One job per (point, scenario), as in the campaign executor: scenario
     // generation and the EvalCache are skipped when every comparison of the
     // job was resumed; each trial realizes availability once, runs its
     // missing heuristics on replays, and projects the realization once.
-    let worker = |job: usize| -> Vec<GapRecord> {
+    let worker = |local: usize| -> Vec<GapRecord> {
+        let job = job_offset + local;
         let point_index = job / scenarios;
         let scenario_index = job % scenarios;
         let params = points[point_index];
@@ -536,7 +542,7 @@ where
                 };
                 block.push(record);
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                on_progress(d, total);
+                on_progress(d, local_total);
             }
         }
         block
@@ -550,7 +556,8 @@ where
         if options.retain_raw { Vec::with_capacity(total) } else { Vec::new() };
     let mut shards = ShardWriter::new(store.as_ref(), scenarios);
 
-    fan_out(num_jobs, resolve_threads(config.threads), worker, |job, block: Vec<GapRecord>| {
+    fan_out(num_jobs, resolve_threads(config.threads), worker, |local, block: Vec<GapRecord>| {
+        let job = job_offset + local;
         let mut executed_in_job = 0usize;
         for (offset, record) in block.iter().enumerate() {
             if prefilled_ref[job * per_scenario + offset].is_none() {
@@ -566,14 +573,12 @@ where
     });
 
     shards.finish()?;
-    if let Some(store) = &store {
-        store.finalize()?;
-    }
+    crate::executor::finalize_store(store.as_ref(), options.part, points.len())?;
     Ok(GapOutcome {
         records: raw,
         aggregates,
         stats: GapStats {
-            total_instances: total,
+            total_instances: local_total,
             executed_instances: executed.into_inner(),
             resumed_instances: resumed.into_inner(),
             trials_realized: trials_realized.into_inner(),

@@ -13,6 +13,9 @@
 //!   optional resumable artifact store;
 //! * [`store`] — the on-disk store behind `--out`/`--resume`: a manifest plus
 //!   one JSONL shard per experiment point, written as points complete;
+//! * [`distrib`] — multi-process sharded execution on top of the store: the
+//!   `--worker-shard I/N` / `--spawn-workers N` coordinator/worker protocol
+//!   with a byte-identical merge of part manifests into `manifest.json`;
 //! * [`stream`] — streaming reduction of results into table/figure summaries
 //!   in O(points × heuristics) memory;
 //! * [`runner`] — runs a single `(scenario, trial, heuristic)` instance through
@@ -53,6 +56,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod distrib;
 pub mod executor;
 pub mod figures;
 pub mod gap;
@@ -65,6 +69,9 @@ pub mod suite;
 pub mod tables;
 
 pub use campaign::{CampaignConfig, CampaignResults, InstanceResult};
+pub use distrib::{
+    merge_parts, run_distributed, shard_range, DistribOutcome, MergeReport, WorkerShard,
+};
 pub use executor::{
     resolve_threads, run_campaign_with, CampaignOutcome, ExecutorOptions, ExecutorStats,
 };

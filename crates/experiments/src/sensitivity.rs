@@ -9,10 +9,10 @@
 //! degrades — quantifying the robustness question raised in Section VII-B.
 
 use crate::campaign::InstanceResult;
-use crate::executor::{fan_out, resolve_threads, scenario_seed};
+use crate::executor::{fan_out, resolve_threads, scenario_seed, ExecutorOptions};
 use crate::metrics::ReferenceComparison;
 use crate::runner::{run_instance_on, trial_seed, InstanceSpec};
-use crate::store::{encode_instance, CampaignStore, ShardWriter, StoredInstance};
+use crate::store::{encode_instance, ShardWriter, StoredInstance};
 use crate::suite::fingerprint_suffix;
 use dg_analysis::EvalCache;
 use dg_availability::semi_markov::SemiMarkovModel;
@@ -21,7 +21,6 @@ use dg_heuristics::HeuristicSpec;
 use dg_platform::{Scenario, ScenarioModel, ScenarioParams};
 use dg_sim::SimMode;
 use serde::{Deserialize, Serialize};
-use std::path::Path;
 
 /// Build, for every worker of a scenario, a semi-Markov model whose mean `UP`
 /// sojourn and crash-vs-preemption mix match the worker's Markov chain.
@@ -166,7 +165,7 @@ fn sensitivity_slot(record: &StoredInstance, config: &SensitivityConfig) -> Opti
 /// Equivalent to [`run_sensitivity_with`] without an artifact store; the
 /// store-less run cannot fail.
 pub fn run_sensitivity(config: &SensitivityConfig) -> SensitivityResults {
-    run_sensitivity_with(config, None, false)
+    run_sensitivity_with(config, &ExecutorOptions::new())
         .expect("a sensitivity run without an artifact store cannot fail")
 }
 
@@ -176,13 +175,14 @@ pub fn run_sensitivity(config: &SensitivityConfig) -> SensitivityResults {
 /// availability and generates its semi-Markov trace **once**, shared by every
 /// heuristic of the trial through [`RealizedTrial`] replays.
 ///
-/// With `out` set, results are checkpointed to model-tagged JSONL shards (one
-/// per experiment point, written as the point completes) next to a manifest;
-/// `resume` skips instances already present in the store.
+/// With [`ExecutorOptions::out`] set, results are checkpointed to
+/// model-tagged JSONL shards (one per experiment point, written as the point
+/// completes) next to a manifest; [`ExecutorOptions::resume`] skips instances
+/// already present in the store, and [`ExecutorOptions::part`] restricts
+/// execution to one worker shard's point range (see [`crate::distrib`]).
 pub fn run_sensitivity_with(
     config: &SensitivityConfig,
-    out: Option<&Path>,
-    resume: bool,
+    options: &ExecutorOptions,
 ) -> Result<SensitivityResults, String> {
     let scenarios = config.scenarios_per_point;
     let trials = config.trials_per_scenario;
@@ -190,13 +190,18 @@ pub fn run_sensitivity_with(
     let pairs_per_job = trials * num_heuristics;
     let total_pairs = config.points.len() * scenarios * pairs_per_job;
 
-    let store = match out {
-        Some(dir) => Some(CampaignStore::open(dir, sensitivity_fingerprint(config), resume)?),
-        None if resume => return Err("resume requires an output directory".to_string()),
-        None => None,
+    // A worker shard executes only its contiguous point range; slots and
+    // shard names stay global.
+    let point_range = match options.part {
+        Some(shard) => shard.points(config.points.len()),
+        None => 0..config.points.len(),
     };
+    let job_offset = point_range.start * scenarios;
+    let num_jobs = point_range.len() * scenarios;
+
+    let store = crate::executor::open_store(options, sensitivity_fingerprint(config))?;
     let mut prefilled: Vec<Option<InstanceResult>> = vec![None; total_pairs * 2];
-    if resume {
+    if options.resume {
         let store = store.as_ref().expect("resume requires a store");
         for record in store.load()? {
             if let Some(slot) = sensitivity_slot(&record, config) {
@@ -211,7 +216,8 @@ pub fn run_sensitivity_with(
     // resumed jobs skip scenario generation and model matching entirely. Both
     // availability arms share one evaluation cache: the Section V estimates
     // depend only on the platform, never on the realized availability.
-    let worker = |job: usize| -> (Vec<(InstanceResult, InstanceResult)>, usize) {
+    let worker = |local: usize| -> (Vec<(InstanceResult, InstanceResult)>, usize) {
+        let job = job_offset + local;
         let point_index = job / scenarios;
         let scenario_index = job % scenarios;
         let params = config.points[point_index];
@@ -303,8 +309,8 @@ pub fn run_sensitivity_with(
     let mut markov = Vec::with_capacity(total_pairs);
     let mut semi = Vec::with_capacity(total_pairs);
     let mut shards = ShardWriter::new(store.as_ref(), scenarios);
-    let num_jobs = config.points.len() * scenarios;
-    fan_out(num_jobs, resolve_threads(config.threads), worker, |job, (block, executed)| {
+    fan_out(num_jobs, resolve_threads(config.threads), worker, |local, (block, executed)| {
+        let job = job_offset + local;
         let point_index = job / scenarios;
         let keep_going = shards.consume(
             job,
@@ -323,9 +329,7 @@ pub fn run_sensitivity_with(
         keep_going
     });
     shards.finish()?;
-    if let Some(store) = &store {
-        store.finalize()?;
-    }
+    crate::executor::finalize_store(store.as_ref(), options.part, config.points.len())?;
     Ok(SensitivityResults { markov, semi_markov: semi })
 }
 
@@ -486,12 +490,14 @@ mod tests {
             std::env::temp_dir().join(format!("dg-sensitivity-resume-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let config = multi_point_config();
-        let uninterrupted = run_sensitivity_with(&config, Some(&dir), false).unwrap();
+        let uninterrupted =
+            run_sensitivity_with(&config, &ExecutorOptions::new().store(&dir, false)).unwrap();
         let shard0 = std::fs::read(dir.join(shard_name(0))).unwrap();
 
         // Lose the second point's shard entirely, then resume.
         std::fs::remove_file(dir.join(shard_name(1))).unwrap();
-        let resumed = run_sensitivity_with(&config, Some(&dir), true).unwrap();
+        let resumed =
+            run_sensitivity_with(&config, &ExecutorOptions::new().store(&dir, true)).unwrap();
         assert_eq!(resumed, uninterrupted);
         assert_eq!(std::fs::read(dir.join(shard_name(0))).unwrap(), shard0);
         assert!(dir.join(shard_name(1)).is_file());
@@ -499,7 +505,7 @@ mod tests {
         // A different configuration cannot resume the store.
         let mut other = config.clone();
         other.weibull_shape = 0.9;
-        assert!(run_sensitivity_with(&other, Some(&dir), true).is_err());
+        assert!(run_sensitivity_with(&other, &ExecutorOptions::new().store(&dir, true)).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,9 +4,12 @@
 //! produced:
 //!
 //! ```text
-//! <dir>/manifest.json       # version, completion flag, config fingerprint
-//! <dir>/point-0000.jsonl    # one line per instance of experiment point 0
-//! <dir>/point-0001.jsonl    # … written atomically when the point completes
+//! <dir>/manifest.json         # version, completion flag, config fingerprint
+//! <dir>/point-0000.jsonl      # one line per instance of experiment point 0
+//! <dir>/point-0001.jsonl      # … written atomically when the point completes
+//! <dir>/manifest.part-I.json  # worker shard I's completion record (transient:
+//!                             # written under --worker-shard I/N, consumed —
+//!                             # and deleted — by the coordinator's merge)
 //! ```
 //!
 //! Each shard holds the instances of one experiment point in **canonical
@@ -42,9 +45,18 @@ pub const MANIFEST_NAME: &str = "manifest.json";
 /// Store format version (bumped on any incompatible layout change).
 pub const STORE_VERSION: u32 = 1;
 
+/// Prefix shared by every part manifest (`manifest.part-<I>.json`); stale-file
+/// cleanup and the merge step match on it.
+pub(crate) const PART_MANIFEST_PREFIX: &str = "manifest.part-";
+
 /// Shard file name of experiment point `point_index`.
 pub fn shard_name(point_index: usize) -> String {
     format!("point-{point_index:04}.jsonl")
+}
+
+/// Part-manifest file name of worker shard `part` (1-based).
+pub fn part_manifest_name(part: usize) -> String {
+    format!("{PART_MANIFEST_PREFIX}{part}.json")
 }
 
 /// A record of one finished instance, optionally tagged with the scenario
@@ -294,8 +306,9 @@ impl CampaignStore {
             }
         } else {
             for stale in store.files_matching(|name| {
-                name.starts_with("point-")
-                    && (name.ends_with(".jsonl") || name.ends_with(".jsonl.tmp"))
+                (name.starts_with("point-")
+                    && (name.ends_with(".jsonl") || name.ends_with(".jsonl.tmp")))
+                    || name.starts_with(PART_MANIFEST_PREFIX)
             })? {
                 fs::remove_file(&stale)
                     .map_err(|e| format!("cannot remove stale shard {}: {e}", stale.display()))?;
@@ -305,9 +318,54 @@ impl CampaignStore {
         Ok(store)
     }
 
+    /// Open a store directory as **one worker shard** of a multi-process run.
+    ///
+    /// Unlike [`CampaignStore::open`], a worker never takes ownership of the
+    /// directory: it does not clear existing shards or part manifests (the
+    /// other shards' points are not its to delete). When a `manifest.json`
+    /// already exists (a coordinator — or an earlier hand-run worker — wrote
+    /// it), its fingerprint must match. When none exists and `resume` is off,
+    /// the worker *stamps* an incomplete manifest so that every later worker
+    /// validates against the same fingerprint — this is what lets workers be
+    /// hand-run into a fresh shared directory with no coordinator process
+    /// (concurrent stamps race benignly: identical bytes, atomic rename).
+    /// With `resume` the manifest is required, so a worker can never
+    /// "resume" into an uninitialized directory.
+    pub fn open_worker(
+        dir: &Path,
+        fingerprint: String,
+        resume: bool,
+    ) -> Result<CampaignStore, String> {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let store = CampaignStore { dir: dir.to_path_buf(), fingerprint };
+        let manifest_path = store.dir.join(MANIFEST_NAME);
+        match fs::read_to_string(&manifest_path) {
+            Ok(text) => {
+                let (_, found) = parse_manifest(&text)?;
+                if found != store.fingerprint {
+                    return Err(format!(
+                        "--worker-shard: {} was produced by a different configuration; \
+                         every worker must run with the coordinator's exact flags",
+                        store.dir.display()
+                    ));
+                }
+            }
+            Err(e) if resume => {
+                return Err(format!("--resume: cannot read {}: {e}", manifest_path.display()))
+            }
+            Err(_) => store.write_manifest(false)?,
+        }
+        Ok(store)
+    }
+
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The store's configuration fingerprint.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
     }
 
     /// Load every decodable instance from the existing shards. Undecodable
@@ -361,8 +419,52 @@ impl CampaignStore {
     }
 
     /// Mark the campaign complete in the manifest.
+    ///
+    /// Idempotent and crash-safe: the manifest is written via a temp file +
+    /// rename, so an interrupted finalize leaves the previous manifest intact
+    /// and re-running it on an already-complete store rewrites the identical
+    /// bytes without error.
     pub fn finalize(&self) -> Result<(), String> {
         self.write_manifest(true)
+    }
+
+    /// Record one worker shard's completion: atomically write
+    /// `manifest.part-<part>.json` with the contiguous point range the shard
+    /// executed (half-open, `points.start..points.end`).
+    pub fn write_part(
+        &self,
+        part: usize,
+        of: usize,
+        points: std::ops::Range<usize>,
+    ) -> Result<(), String> {
+        let manifest = PartManifest {
+            part,
+            of,
+            start: points.start,
+            end: points.end,
+            fingerprint: self.fingerprint.clone(),
+        };
+        self.write_atomic(&part_manifest_name(part), &render_part_manifest(&manifest))
+    }
+
+    /// Read worker shard `part`'s part manifest back.
+    pub fn read_part(&self, part: usize) -> Result<PartManifest, String> {
+        let path = self.dir.join(part_manifest_name(part));
+        let text = fs::read_to_string(&path).map_err(|e| {
+            format!("merge: cannot read {} (did worker {part} finish?): {e}", path.display())
+        })?;
+        parse_part_manifest(&text)
+    }
+
+    /// Delete every part manifest (and `.tmp` leftovers). After a successful
+    /// merge this leaves the directory indistinguishable from a
+    /// single-process run's.
+    pub fn remove_part_manifests(&self) -> Result<(), String> {
+        for path in self.files_matching(|name| name.starts_with(PART_MANIFEST_PREFIX))? {
+            fs::remove_file(&path)
+                .map_err(|e| format!("cannot remove part manifest {}: {e}", path.display()))?;
+        }
+        Ok(())
     }
 
     /// Read whether the manifest currently marks the campaign complete.
@@ -374,9 +476,23 @@ impl CampaignStore {
     }
 
     fn write_manifest(&self, complete: bool) -> Result<(), String> {
-        let path = self.dir.join(MANIFEST_NAME);
-        let text = render_manifest(complete, &self.fingerprint);
-        fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+        self.write_atomic(MANIFEST_NAME, &render_manifest(complete, &self.fingerprint))
+    }
+
+    /// Write `name` via a temp file + fsync + rename, so the file is never
+    /// observed half-written: a crash mid-write leaves the previous version
+    /// (or nothing) in place, never a torn manifest.
+    fn write_atomic(&self, name: &str, text: &str) -> Result<(), String> {
+        let path = self.dir.join(name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let mut file =
+            fs::File::create(&tmp).map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        file.sync_all().map_err(|e| format!("cannot sync {}: {e}", tmp.display()))?;
+        drop(file);
+        fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
     }
 
     fn shard_paths(&self) -> Result<Vec<PathBuf>, String> {
@@ -468,6 +584,60 @@ impl<'a> ShardWriter<'a> {
             None => Ok(()),
         }
     }
+}
+
+/// A worker shard's completion record: which contiguous point range it
+/// executed, under which configuration. Written as
+/// `manifest.part-<part>.json` when the shard's last point lands; the merge
+/// step ([`crate::distrib::merge_parts`]) stitches `N` of these into the
+/// single-process `manifest.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartManifest {
+    /// 1-based shard index.
+    pub part: usize,
+    /// Total shard count of the split this part belongs to.
+    pub of: usize,
+    /// First point of the executed range (inclusive).
+    pub start: usize,
+    /// End of the executed range (exclusive).
+    pub end: usize,
+    /// Configuration fingerprint the shard ran under.
+    pub fingerprint: String,
+}
+
+/// Render a part manifest: a single deterministic JSON line.
+fn render_part_manifest(m: &PartManifest) -> String {
+    format!(
+        "{{\"version\":{STORE_VERSION},\"part\":{},\"of\":{},\"points\":[{},{}],\"config\":{}}}\n",
+        m.part, m.of, m.start, m.end, m.fingerprint
+    )
+}
+
+/// Parse a part manifest back. Malformed or version-mismatched input is an
+/// `Err` (a torn part manifest cannot happen — they are written atomically —
+/// so any parse failure means a foreign or corrupt file).
+pub(crate) fn parse_part_manifest(text: &str) -> Result<PartManifest, String> {
+    let err = || "unrecognized part manifest (version mismatch or corrupt)".to_string();
+    let text = text.trim_end();
+    let rest =
+        text.strip_prefix(&format!("{{\"version\":{STORE_VERSION},\"part\":")).ok_or_else(err)?;
+    let (part, rest) = split_integer(rest).ok_or_else(err)?;
+    let rest = rest.strip_prefix(",\"of\":").ok_or_else(err)?;
+    let (of, rest) = split_integer(rest).ok_or_else(err)?;
+    let rest = rest.strip_prefix(",\"points\":[").ok_or_else(err)?;
+    let (start, rest) = split_integer(rest).ok_or_else(err)?;
+    let rest = rest.strip_prefix(',').ok_or_else(err)?;
+    let (end, rest) = split_integer(rest).ok_or_else(err)?;
+    let fingerprint =
+        rest.strip_prefix("],\"config\":").and_then(|r| r.strip_suffix('}')).ok_or_else(err)?;
+    Ok(PartManifest { part, of, start, end, fingerprint: fingerprint.to_string() })
+}
+
+/// Split a leading decimal integer off `text`.
+fn split_integer(text: &str) -> Option<(usize, &str)> {
+    let digits = text.len() - text.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    let value = text[..digits].parse().ok()?;
+    Some((value, &text[digits..]))
 }
 
 /// Render the manifest: a single deterministic JSON line.
@@ -620,12 +790,97 @@ mod tests {
         let dir = temp_dir("stale");
         let store = CampaignStore::open(&dir, "{}".to_string(), false).unwrap();
         store.write_shard(3, &[encode_instance(3, None, None, &sample(Some(5)))]).unwrap();
-        // A crash inside write_shard can leave a .tmp behind the rename.
+        // A crash inside write_shard can leave a .tmp behind the rename, and
+        // a killed multi-process run can leave part manifests behind.
         let orphan = dir.join(format!("{}.tmp", shard_name(7)));
         fs::write(&orphan, "partial").unwrap();
+        store.write_part(2, 3, 1..3).unwrap();
         let store = CampaignStore::open(&dir, "{}".to_string(), false).unwrap();
         assert!(store.load().unwrap().is_empty());
         assert!(!orphan.exists(), "stale .tmp shard survived a fresh open");
+        assert!(!dir.join(part_manifest_name(2)).exists(), "stale part manifest survived");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finalize_is_idempotent_and_leaves_no_tmp_behind() {
+        let dir = temp_dir("finalize");
+        let store = CampaignStore::open(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        store.finalize().unwrap();
+        let bytes = fs::read(dir.join(MANIFEST_NAME)).unwrap();
+        // Finalizing an already-complete store succeeds and rewrites the
+        // identical bytes; the atomic write never leaves its temp file.
+        store.finalize().unwrap();
+        assert_eq!(fs::read(dir.join(MANIFEST_NAME)).unwrap(), bytes);
+        assert!(!dir.join(format!("{MANIFEST_NAME}.tmp")).exists());
+        assert!(store.is_complete().unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn part_manifest_roundtrips_exactly() {
+        let m = PartManifest {
+            part: 2,
+            of: 3,
+            start: 4,
+            end: 8,
+            fingerprint: "{\"kind\":\"campaign\",\"m\":[5]}".to_string(),
+        };
+        let text = render_part_manifest(&m);
+        assert_eq!(
+            text,
+            "{\"version\":1,\"part\":2,\"of\":3,\"points\":[4,8],\"config\":{\"kind\":\"campaign\",\"m\":[5]}}\n"
+        );
+        assert_eq!(parse_part_manifest(&text).unwrap(), m);
+        // Corrupt or truncated text is rejected, as is a plain manifest.
+        assert!(parse_part_manifest(&text[..text.len() / 2]).is_err());
+        assert!(parse_part_manifest(&render_manifest(true, "{}")).is_err());
+        assert!(parse_part_manifest("").is_err());
+    }
+
+    #[test]
+    fn write_part_and_read_part_roundtrip_through_the_store() {
+        let dir = temp_dir("parts");
+        let store = CampaignStore::open(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        store.write_part(1, 2, 0..3).unwrap();
+        store.write_part(2, 2, 3..6).unwrap();
+        let read = store.read_part(2).unwrap();
+        assert_eq!(read.part, 2);
+        assert_eq!(read.of, 2);
+        assert_eq!((read.start, read.end), (3, 6));
+        assert_eq!(read.fingerprint, "{\"k\":1}");
+        // Missing parts name the worker in the error.
+        let err = store.read_part(3).unwrap_err();
+        assert!(err.contains("worker 3"), "{err}");
+        store.remove_part_manifests().unwrap();
+        assert!(store.read_part(1).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_worker_validates_but_never_claims_the_directory() {
+        let dir = temp_dir("worker-open");
+        // Resume demands an initialized store…
+        assert!(CampaignStore::open_worker(&dir, "{\"k\":1}".to_string(), true).is_err());
+        // …but a fresh worker can open a directory no coordinator
+        // initialized: it stamps the shared (incomplete) manifest so every
+        // later worker validates against the same fingerprint.
+        let worker = CampaignStore::open_worker(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        assert!(dir.join(MANIFEST_NAME).exists(), "first worker stamps the shared manifest");
+        assert!(!worker.is_complete().unwrap());
+        worker.write_shard(0, &[encode_instance(0, None, None, &sample(Some(1)))]).unwrap();
+        // A hand-run worker with different flags is refused by the stamp.
+        let err = CampaignStore::open_worker(&dir, "{\"k\":2}".to_string(), false).unwrap_err();
+        assert!(err.contains("different configuration"), "{err}");
+        // With a coordinator manifest present, the fingerprint must match and
+        // existing shards survive (workers never clear the directory).
+        let coordinator = CampaignStore::open(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        coordinator.write_shard(1, &[encode_instance(1, None, None, &sample(Some(2)))]).unwrap();
+        let worker = CampaignStore::open_worker(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        assert_eq!(worker.load().unwrap().len(), 1);
+        let err = CampaignStore::open_worker(&dir, "{\"k\":2}".to_string(), false).unwrap_err();
+        assert!(err.contains("different configuration"), "{err}");
+        assert!(CampaignStore::open_worker(&dir, "{\"k\":1}".to_string(), true).is_ok());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -13,6 +13,14 @@
 //! `%diff`/`stdv` statistics are computed over per-scenario relative
 //! differences of trial-averaged makespans, and trials on which the
 //! reference failed never enter the win denominators.
+//!
+//! The accumulator is always sized for the **whole** campaign but tolerates
+//! partial consumption: a `--worker-shard I/N` executor (see
+//! [`crate::distrib`]) feeds it only the scenarios of its contiguous point
+//! range, leaving every other point's cells empty. That is sound because a
+//! worker renders nothing — tables and figures are only produced from a
+//! fully-fed accumulator (a plain run, or the coordinator's resume pass over
+//! the merged store).
 
 use crate::campaign::{CampaignConfig, InstanceResult};
 use crate::metrics::{HeuristicSummary, ReferenceComparison};

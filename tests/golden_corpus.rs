@@ -18,7 +18,7 @@ use desktop_grid_scheduling::experiments::cli::CliOptions;
 use desktop_grid_scheduling::experiments::executor::{run_campaign_with, ExecutorOptions};
 use desktop_grid_scheduling::experiments::figures::Figure;
 use desktop_grid_scheduling::experiments::gap::{render_gap_table, run_gap_with};
-use desktop_grid_scheduling::experiments::store::shard_name;
+use desktop_grid_scheduling::experiments::store::{shard_name, MANIFEST_NAME};
 use desktop_grid_scheduling::experiments::tables::{render_table, table_comparison};
 use desktop_grid_scheduling::heuristics::HeuristicSpec;
 use std::fs;
@@ -80,6 +80,51 @@ fn table1_rendering_and_shards_match_golden_corpus() {
         shards.push_str(&fs::read_to_string(dir.join(shard_name(point))).unwrap());
     }
     check_golden("table1_shards.jsonl", &shards);
+    // The completed manifest, shared as a fixture with the 3-worker split
+    // test below: a merged multi-process store must reproduce it exactly.
+    check_golden("table1_manifest.json", &fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The tentpole acceptance pin of the coordinator/worker protocol: a
+/// 3-worker split of the Table I golden campaign — each worker running 2
+/// in-process threads — merges to a `manifest.json` and concatenated shard
+/// bytes **byte-identical** to the committed single-process `--threads 1`
+/// fixtures. N processes × M threads with file-level communication only,
+/// and not one output byte moves.
+#[test]
+fn three_worker_split_merges_byte_identical_to_single_process_fixtures() {
+    use desktop_grid_scheduling::experiments::distrib::{merge_parts, WorkerShard};
+    use desktop_grid_scheduling::experiments::executor::config_fingerprint;
+    use desktop_grid_scheduling::experiments::store::CampaignStore;
+
+    let opts =
+        CliOptions::parse(["--scenarios", "1", "--trials", "1", "--wmin", "1,2", "--threads", "2"])
+            .unwrap();
+    let config = opts.campaign().unwrap().with_m(5);
+    let dir = temp_store("table1-split");
+    let num_points = config.points().len();
+    // Coordinator claims the shared directory; the three workers execute
+    // their contiguous point ranges into it (in-process here — the spawned
+    // child-process path is covered by the CI smoke run).
+    let store = CampaignStore::open(&dir, config_fingerprint(&config), false).unwrap();
+    for index in 1..=3 {
+        let shard = WorkerShard::new(index, 3).unwrap();
+        let options = ExecutorOptions::new().store(&dir, false).worker_shard(shard);
+        run_campaign_with(&config, &options, |_, _| {}).unwrap();
+    }
+    let report = merge_parts(&store, 3, num_points).unwrap();
+    assert_eq!(report.points, num_points);
+
+    // Concatenated shard bytes equal the committed single-process fixture.
+    let mut shards = String::new();
+    for point in 0..num_points {
+        shards.push_str(&fs::read_to_string(dir.join(shard_name(point))).unwrap());
+    }
+    check_golden("table1_shards.jsonl", &shards);
+    // And the merged manifest equals the committed single-process manifest.
+    let manifest = fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap();
+    check_golden("table1_manifest.json", &manifest);
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -698,3 +698,71 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shard_ranges_tile_any_point_space(total in 1usize..20, num_points in 0usize..200) {
+        use desktop_grid_scheduling::experiments::distrib::shard_range;
+        // The N ranges tile 0..num_points exactly, in order, balanced to
+        // within one point — the invariant the merge step's gap/overlap
+        // refusals are calibrated against.
+        let mut cursor = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for index in 1..=total {
+            let range = shard_range(index, total, num_points);
+            prop_assert_eq!(range.start, cursor);
+            prop_assert!(range.end >= range.start);
+            cursor = range.end;
+            min = min.min(range.len());
+            max = max.max(range.len());
+        }
+        prop_assert_eq!(cursor, num_points);
+        prop_assert!(max - min <= 1, "unbalanced split: sizes span {min}..{max}");
+    }
+
+    #[test]
+    fn any_partition_of_points_round_trips_through_split_and_merge(
+        num_points in 1usize..30,
+        raw_cuts in proptest::collection::vec(0usize..30, 0..5),
+    ) {
+        use desktop_grid_scheduling::experiments::distrib::merge_parts;
+        use desktop_grid_scheduling::experiments::store::{shard_name, CampaignStore};
+        static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("dg-prop-split-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Arbitrary cut points induce an arbitrary partition of
+        // 0..num_points into contiguous ranges (duplicate cuts produce empty
+        // ranges, which are legal idle workers).
+        let mut bounds = vec![0usize];
+        bounds.extend(raw_cuts.into_iter().map(|c| c % (num_points + 1)));
+        bounds.push(num_points);
+        bounds.sort_unstable();
+        let ranges: Vec<std::ops::Range<usize>> = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+
+        let store = CampaignStore::open(&dir, "{\"k\":1}".to_string(), false).unwrap();
+        for point in 0..num_points {
+            std::fs::write(dir.join(shard_name(point)), format!("{{\"point\":{point}}}\n")).unwrap();
+        }
+        // With the last part manifest missing the merge must refuse and
+        // leave the store incomplete...
+        for (i, range) in ranges.iter().enumerate().take(ranges.len() - 1) {
+            store.write_part(i + 1, ranges.len(), range.clone()).unwrap();
+        }
+        prop_assert!(merge_parts(&store, ranges.len(), num_points).is_err());
+        prop_assert!(!store.is_complete().unwrap());
+        // ...and with every part present the partition round-trips: the
+        // merge stitches the full point space and finalizes the manifest.
+        let last = ranges.len() - 1;
+        store.write_part(last + 1, ranges.len(), ranges[last].clone()).unwrap();
+        let report = merge_parts(&store, ranges.len(), num_points).unwrap();
+        prop_assert_eq!(report.parts, ranges.len());
+        prop_assert_eq!(report.points, num_points);
+        prop_assert!(store.is_complete().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
