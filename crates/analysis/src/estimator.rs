@@ -128,6 +128,24 @@ impl EvalCacheStats {
             self.group_hits as f64 / total as f64
         }
     }
+
+    /// Total group lookups (hits plus misses).
+    pub fn lookups(&self) -> u64 {
+        self.group_hits + self.group_misses
+    }
+
+    /// Counter-wise difference against an earlier snapshot of the **same**
+    /// cache: the hits and misses accrued between the two [`EvalCache::stats`]
+    /// calls. This is how per-request deltas are carved out of the monotonic
+    /// process-lifetime counters (the `serve` daemon reports one delta per
+    /// answered request). Saturating, so a mismatched snapshot pair degrades
+    /// to zeros instead of wrapping.
+    pub fn since(&self, earlier: &EvalCacheStats) -> EvalCacheStats {
+        EvalCacheStats {
+            group_hits: self.group_hits.saturating_sub(earlier.group_hits),
+            group_misses: self.group_misses.saturating_sub(earlier.group_misses),
+        }
+    }
 }
 
 /// The shared memo tables behind the Section V estimates.
@@ -517,6 +535,25 @@ mod tests {
         cache.clear();
         assert_eq!(cache.stats(), EvalCacheStats::default());
         assert_eq!(cache.cached_sets(), 0);
+    }
+
+    #[test]
+    fn stats_snapshots_delta_cleanly() {
+        let s = paper_scenario();
+        let cache = EvalCache::with_default_epsilon(&s.platform, &s.master);
+        cache.group(&[0, 1]); // miss
+        cache.group(&[0, 1]); // hit
+        let before = cache.stats();
+        assert_eq!(before.lookups(), 2);
+        cache.group(&[2, 3]); // miss
+        cache.group(&[2, 3]); // hit
+        cache.group(&[0, 1]); // hit
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta, EvalCacheStats { group_hits: 2, group_misses: 1 });
+        assert_eq!(delta.lookups(), 3);
+        // An untouched cache deltas to zero; mismatched order saturates.
+        assert_eq!(cache.stats().since(&cache.stats()), EvalCacheStats::default());
+        assert_eq!(before.since(&cache.stats()), EvalCacheStats::default());
     }
 
     #[test]

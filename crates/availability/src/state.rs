@@ -172,6 +172,37 @@ impl StateTrace {
         self.states.iter().map(|s| s.code()).collect()
     }
 
+    /// Ingest a live availability transition: the processor is observed in
+    /// `state` from time-slot `at` onward. The gap between the recorded
+    /// horizon and `at` is filled with the current tail state — which is what
+    /// [`StateTrace::state_at`] already reports for those slots, so filling
+    /// it changes no answer.
+    ///
+    /// Reporting the tail state again is **not** a transition: queries past
+    /// the horizon repeat the tail forever, so the trace already says the
+    /// processor is in `state` at `at`. Such events are dropped without
+    /// extending the trace (`Ok(false)`), which keeps
+    /// [`StateTrace::next_change`] free of spurious transitions and keeps the
+    /// horizon available for a later, genuinely different transition at an
+    /// earlier slot. Returns `Ok(true)` when a new transition was recorded,
+    /// and an error when `at` falls inside the already-recorded horizon
+    /// (live ingestion never rewrites history).
+    pub fn append_transition(&mut self, at: u64, state: ProcState) -> Result<bool, String> {
+        let tail = *self.states.last().expect("traces are never empty");
+        if state == tail {
+            return Ok(false);
+        }
+        let horizon = self.states.len();
+        if (at as usize) < horizon {
+            return Err(format!(
+                "transition to {state} at slot {at} predates the recorded horizon {horizon}"
+            ));
+        }
+        self.states.resize(at as usize, tail);
+        self.states.push(state);
+        Ok(true)
+    }
+
     /// First time-slot strictly after `after` at which the recorded state
     /// differs from the state at `after`, together with the new state.
     ///
@@ -276,6 +307,48 @@ mod tests {
         assert_eq!(t.next_change(5), None);
         assert_eq!(t.next_change(100), None);
         assert_eq!(StateTrace::constant(ProcState::Down, 4).next_change(0), None);
+    }
+
+    #[test]
+    fn append_transition_extends_the_trace_and_next_change_sees_it() {
+        let mut t = StateTrace::parse("UUR").unwrap();
+        // No transition after the constant tail yet.
+        assert_eq!(t.next_change(2), None);
+        // A genuine transition past the horizon: the gap is filled with the
+        // tail state, the new state lands exactly at its slot.
+        assert_eq!(t.append_transition(5, ProcState::Up), Ok(true));
+        assert_eq!(t.to_code_string(), "UURRRU");
+        assert_eq!(t.next_change(2), Some((5, ProcState::Up)));
+        assert_eq!(t.state_at(4), ProcState::Reclaimed);
+        assert_eq!(t.state_at(5), ProcState::Up);
+        // Appending at exactly the horizon needs no gap fill.
+        assert_eq!(t.append_transition(6, ProcState::Down), Ok(true));
+        assert_eq!(t.to_code_string(), "UURRRUD");
+    }
+
+    #[test]
+    fn append_transition_equal_to_the_tail_is_not_a_transition() {
+        // The live-append/next_change interaction pin: an event reporting the
+        // state the trace already repeats forever must not be recorded — a
+        // naive resize-and-push would not change next_change's answer but
+        // would freeze the horizon past `at`, rejecting a later real
+        // transition at an earlier slot.
+        let mut t = StateTrace::parse("UUR").unwrap();
+        assert_eq!(t.append_transition(10, ProcState::Reclaimed), Ok(false));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.next_change(2), None);
+        assert_eq!(t.next_change(0), Some((2, ProcState::Reclaimed)));
+        // The horizon stayed at 3, so a real transition at slot 4 still fits.
+        assert_eq!(t.append_transition(4, ProcState::Down), Ok(true));
+        assert_eq!(t.next_change(2), Some((4, ProcState::Down)));
+    }
+
+    #[test]
+    fn append_transition_rejects_rewriting_history() {
+        let mut t = StateTrace::parse("UUR").unwrap();
+        let err = t.append_transition(1, ProcState::Down).unwrap_err();
+        assert!(err.contains("predates the recorded horizon 3"), "{err}");
+        assert_eq!(t.to_code_string(), "UUR");
     }
 
     #[test]

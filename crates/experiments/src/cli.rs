@@ -36,7 +36,7 @@ use crate::campaign::CampaignConfig;
 use crate::distrib::WorkerShard;
 use crate::executor::ExecutorOptions;
 use crate::suite::SuiteSpec;
-use dg_heuristics::{all_heuristic_names, HeuristicSpec};
+use dg_heuristics::{parse_heuristic_named, HeuristicSpec};
 use dg_sim::SimMode;
 use std::path::PathBuf;
 
@@ -275,19 +275,34 @@ impl CliOptions {
         options
     }
 
+    /// Worker-shard child `index`'s share of the coordinator's thread budget:
+    /// the **resolved** budget (`--threads 0` auto-detects the host's
+    /// parallelism once, in the coordinator) divided into `total` balanced
+    /// shares of at least one thread each. Passing the raw `--threads` value
+    /// through would make every child resolve `0` to *all* host CPUs and
+    /// oversubscribe the box `total`×; dividing here keeps the children's
+    /// combined worker threads equal to the budget the user asked for.
+    pub fn worker_threads(&self, index: usize, total: usize) -> usize {
+        let budget = crate::executor::resolve_threads(self.threads);
+        (index * budget / total - (index - 1) * budget / total).max(1)
+    }
+
     /// Reconstruct the argument vector a coordinator passes to worker-shard
     /// child `index` of `total`: every result-determining flag of this
     /// invocation, plus `--worker-shard index/total` and a forced `--quiet`
     /// (N children interleaving progress lines is unreadable). Excludes
     /// `--spawn-workers` (the child is a worker, not a coordinator) and
-    /// `--full` (already expanded into scenarios/trials/cap at parse time);
-    /// parsing the result round-trips to these options with the shard set.
+    /// `--full` (already expanded into scenarios/trials/cap at parse time).
+    /// `--threads` carries the child's [`CliOptions::worker_threads`] share of
+    /// the resolved budget — never a literal `0` — so parsing the result
+    /// round-trips to these options with the shard and the child's thread
+    /// share set.
     pub fn worker_args(&self, index: usize, total: usize) -> Vec<String> {
         let mut args: Vec<String> = [
             ("--scenarios", self.scenarios.to_string()),
             ("--trials", self.trials.to_string()),
             ("--cap", self.max_slots.to_string()),
-            ("--threads", self.threads.to_string()),
+            ("--threads", self.worker_threads(index, total).to_string()),
             ("--seed", self.seed.to_string()),
             ("--engine", self.engine.to_string()),
         ]
@@ -345,12 +360,8 @@ fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, S
 fn parse_heuristics(value: &str) -> Result<Vec<HeuristicSpec>, String> {
     let mut specs: Vec<HeuristicSpec> = Vec::new();
     for name in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let spec = HeuristicSpec::parse(name).map_err(|_| {
-            format!(
-                "unknown heuristic '{name}' for --heuristics; valid names: {}",
-                all_heuristic_names().join(", ")
-            )
-        })?;
+        let spec =
+            parse_heuristic_named(name).map_err(|err| format!("{err} (for --heuristics)"))?;
         if specs.contains(&spec) {
             return Err(format!("duplicate heuristic '{}' in --heuristics", spec.name()));
         }
@@ -391,6 +402,7 @@ pub fn progress_reporter(quiet: bool) -> impl Fn(usize, usize) + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dg_heuristics::all_heuristic_names;
 
     #[test]
     fn defaults_and_overrides() {
@@ -647,6 +659,9 @@ mod tests {
         let mut expected = opts.clone();
         expected.worker_shard = Some((2, 3));
         expected.quiet = true;
+        // The child carries its share of the 2-thread budget, not the
+        // coordinator's literal --threads value.
+        expected.threads = opts.worker_threads(2, 3);
         assert_eq!(child, expected);
         assert!(!args.contains(&"--spawn-workers".to_string()));
         // Defaults round-trip too, even from a coordinator invocation.
@@ -657,6 +672,41 @@ mod tests {
         assert_eq!(child.spawn_workers, None);
         assert!(child.quiet);
         assert_eq!(child.out, coordinator.out);
+    }
+
+    #[test]
+    fn worker_args_divide_the_thread_budget_across_children() {
+        // The value a child receives for --threads in its generated flags.
+        let thread_arg = |args: &[String]| -> usize {
+            let at = args.iter().position(|a| a == "--threads").expect("--threads present");
+            args[at + 1].parse().expect("--threads value is numeric")
+        };
+        // An explicit budget of 8 over 3 children: balanced shares, sum 8.
+        let opts =
+            CliOptions::parse(["--threads", "8", "--spawn-workers", "3", "--out", "d"]).unwrap();
+        let shares: Vec<usize> = (1..=3).map(|i| thread_arg(&opts.worker_args(i, 3))).collect();
+        assert_eq!(shares, vec![2, 3, 3]);
+        assert_eq!(shares.iter().sum::<usize>(), 8);
+        // A budget smaller than the child count clamps every share to 1.
+        let small =
+            CliOptions::parse(["--threads", "2", "--spawn-workers", "3", "--out", "d"]).unwrap();
+        let shares: Vec<usize> = (1..=3).map(|i| thread_arg(&small.worker_args(i, 3))).collect();
+        assert!(shares.iter().all(|&s| s == 1), "{shares:?}");
+        // The oversubscription bug: --threads 0 must never reach a child
+        // verbatim (each child would auto-detect all host CPUs, using N× the
+        // box). The resolved budget is divided instead, and the children's
+        // combined threads never exceed it.
+        let auto =
+            CliOptions::parse(["--threads", "0", "--spawn-workers", "4", "--out", "d"]).unwrap();
+        let budget = crate::executor::resolve_threads(0);
+        let mut combined = 0;
+        for i in 1..=4 {
+            let share = thread_arg(&auto.worker_args(i, 4));
+            assert!(share >= 1);
+            assert!(share <= budget);
+            combined += share;
+        }
+        assert!(combined <= budget.max(4), "{combined} threads exceed the {budget}-thread budget");
     }
 
     #[test]

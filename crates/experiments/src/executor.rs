@@ -272,9 +272,11 @@ fn slot_of(
 ///
 /// Jobs (one per `(point, scenario)` pair) are distributed over
 /// `resolve_threads(config.threads)` worker threads; `on_progress` is called
-/// with `(completed_runs, total_runs)` after every instance (resumed
-/// instances count as completed immediately). Fails only on store I/O or
-/// configuration-mismatch errors; a store-less campaign is infallible.
+/// with `(completed_runs, total_runs)` — once up-front covering every resumed
+/// instance, then after executed instances — and the reported `done` counts
+/// are strictly increasing regardless of thread interleaving. Fails only on
+/// store I/O or configuration-mismatch errors; a store-less campaign is
+/// infallible.
 pub fn run_campaign_with<F>(
     config: &CampaignConfig,
     options: &ExecutorOptions,
@@ -318,7 +320,33 @@ where
         }
     }
 
-    let done = AtomicUsize::new(0);
+    // Progress pre-seed (the --resume monotonicity fix): resumed instances
+    // are not simulated, so counting them as the worker threads *encounter*
+    // them interleaves with executed-instance counts in arbitrary thread
+    // order and produced non-monotonic (done, total) callbacks. Instead,
+    // every prefilled slot in the local range is counted up-front and
+    // reported once; workers then report executed instances only, through a
+    // last-reported guard that drops out-of-order publications.
+    let preseeded = (0..num_jobs)
+        .flat_map(|local| {
+            let base = (job_offset + local) * per_scenario;
+            base..base + per_scenario
+        })
+        .filter(|&slot| prefilled[slot].is_some())
+        .count();
+    let last_reported = std::sync::Mutex::new(0usize);
+    let report = |d: usize| {
+        let mut last = last_reported.lock().expect("progress lock poisoned");
+        if d > *last {
+            *last = d;
+            on_progress(d, local_total);
+        }
+    };
+    if preseeded > 0 {
+        report(preseeded);
+    }
+
+    let done = AtomicUsize::new(preseeded);
     let executed = AtomicUsize::new(0);
     let resumed = AtomicUsize::new(0);
     let trials_realized = AtomicUsize::new(0);
@@ -361,10 +389,11 @@ where
                 RealizedTrial::new(scenario.realize_trial(ts, config.max_slots))
             });
             for (i, heuristic) in config.heuristics.iter().enumerate() {
-                let result = match &prefilled_ref[trial_slots + i] {
+                match &prefilled_ref[trial_slots + i] {
                     Some(stored) => {
+                        // Already counted by the progress pre-seed.
                         resumed.fetch_add(1, Ordering::Relaxed);
-                        stored.clone()
+                        block.push(stored.clone());
                     }
                     None => {
                         let scenario =
@@ -385,18 +414,17 @@ where
                         );
                         executed.fetch_add(1, Ordering::Relaxed);
                         executed_in_job += 1;
-                        InstanceResult {
+                        block.push(InstanceResult {
                             params,
                             scenario_index,
                             trial_index,
                             heuristic: heuristic.name(),
                             outcome,
-                        }
+                        });
+                        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        report(d);
                     }
-                };
-                block.push(result);
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                on_progress(d, local_total);
+                }
             }
         }
         if let Some(cache) = &eval_cache {
@@ -1037,9 +1065,25 @@ mod tests {
 
     #[test]
     fn progress_covers_resumed_instances() {
+        let total = test_config().total_runs();
+        let assert_monotonic = |seen: &[(usize, usize)]| {
+            assert!(!seen.is_empty());
+            assert!(seen.iter().all(|&(_, t)| t == total));
+            // The bugfix pin: (done, total) callbacks are strictly increasing
+            // — resumed instances are pre-seeded from the store, never
+            // interleaved with executed counts in thread order.
+            for pair in seen.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "non-monotonic progress: {pair:?}");
+            }
+            assert_eq!(seen.last().unwrap().0, total, "progress must end at total");
+        };
+
         let dir = temp_dir("progress");
-        let config = test_config();
+        let mut config = test_config();
+        config.threads = 4; // exercise the cross-thread publication order
         run_campaign_with(&config, &ExecutorOptions::new().store(&dir, false), |_, _| {}).unwrap();
+
+        // Fully resumed: everything is covered by one up-front report.
         let seen = Mutex::new(Vec::new());
         let outcome =
             run_campaign_with(&config, &ExecutorOptions::new().store(&dir, true), |done, total| {
@@ -1047,9 +1091,40 @@ mod tests {
             })
             .unwrap();
         let seen = seen.into_inner().unwrap();
-        assert_eq!(seen.len(), config.total_runs());
-        assert!(seen.iter().all(|&(_, t)| t == config.total_runs()));
-        assert_eq!(outcome.stats.resumed_instances, config.total_runs());
+        assert_eq!(seen, vec![(total, total)]);
+        assert_eq!(outcome.stats.resumed_instances, total);
+
+        // Partially resumed: the pre-seed covers the stored instances, the
+        // re-executed remainder reports on top, still monotonically.
+        truncate_shard(&dir, 1, 3, 0);
+        fs::remove_file(dir.join(shard_name(2))).unwrap();
+        fs::write(
+            dir.join(MANIFEST_NAME),
+            format!(
+                "{{\"version\":{},\"complete\":false,\"config\":{}}}\n",
+                crate::store::STORE_VERSION,
+                config_fingerprint(&config)
+            ),
+        )
+        .unwrap();
+        let seen = Mutex::new(Vec::new());
+        let outcome =
+            run_campaign_with(&config, &ExecutorOptions::new().store(&dir, true), |done, total| {
+                seen.lock().unwrap().push((done, total))
+            })
+            .unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_monotonic(&seen);
+        assert_eq!(seen[0].0, outcome.stats.resumed_instances);
+        assert!(outcome.stats.executed_instances > 0);
+
+        // A fresh run (nothing to pre-seed) is monotonic too.
+        let seen = Mutex::new(Vec::new());
+        run_campaign_with(&config, &ExecutorOptions::new(), |done, total| {
+            seen.lock().unwrap().push((done, total))
+        })
+        .unwrap();
+        assert_monotonic(&seen.into_inner().unwrap());
         let _ = fs::remove_dir_all(&dir);
     }
 }

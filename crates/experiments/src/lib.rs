@@ -29,13 +29,19 @@
 //!   makespan ratios against the `dg-offline` oracles;
 //! * [`sensitivity`] — the model-mismatch extension: the same heuristics run on
 //!   semi-Markov (Weibull / log-normal) availability traces;
+//! * [`service`] — the warm-cache scheduler daemon behind the `serve` binary:
+//!   one platform/suite loaded once, scheduling-decision requests answered
+//!   over a JSONL protocol (stdin/stdout or TCP), with an online mode that
+//!   ingests live availability transitions and re-schedules per the
+//!   [`dg_sim::Reevaluation`] contract;
 //! * [`suite`] — named scenario suites over the generator axes of
 //!   [`dg_platform::generator`]: the `paper`, `volatile`, `largegrid` and
 //!   `commbound` presets, a hand-rolled text format for custom suites and
 //!   the `--suite NAME|FILE` resolution used by every binary.
 //!
 //! The binaries `table1`, `table2`, `figure2`, `sensitivity`, `report` and `gap`
-//! print the corresponding paper artifacts; their `--scenarios/--trials/--cap`
+//! print the corresponding paper artifacts, and `serve` runs the scheduling
+//! service; their `--scenarios/--trials/--cap`
 //! flags select the campaign scale (the paper's full scale is 10 scenarios ×
 //! 10 trials per point with a 10⁶-slot cap) and `--engine slot|event` selects
 //! the simulation engine (see `docs/ARCHITECTURE.md` at the repository root;
@@ -63,6 +69,7 @@ pub mod gap;
 pub mod metrics;
 pub mod runner;
 pub mod sensitivity;
+pub mod service;
 pub mod store;
 pub mod stream;
 pub mod suite;
@@ -80,7 +87,11 @@ pub use gap::{
 };
 pub use metrics::{HeuristicSummary, ReferenceComparison};
 pub use runner::{
-    run_instance, run_instance_logged, run_instance_on, run_instance_with_report, InstanceSpec,
+    run_instance, run_instance_logged, run_instance_on, run_instance_with_report, scheduler_seed,
+    InstanceSpec,
+};
+pub use service::{
+    DecideReply, DecideRequest, Request, ScheduleService, ServeOptions, ServeSummary, ServiceCore,
 };
 pub use stream::CampaignAccumulator;
 pub use suite::SuiteSpec;

@@ -26,6 +26,16 @@ pub fn trial_seed(base_seed: u64, scenario_seed: u64, trial_index: usize) -> u64
     derive_seed(base_seed ^ scenario_seed, 0xA11C_E000 + trial_index as u64)
 }
 
+/// Derive the scheduler seed of a trial's instances: the trial seed on its
+/// own stream, so the RANDOM heuristic's draws are not correlated with the
+/// availability realization. This is the exact derivation every
+/// `run_instance*` entry point performs; the scheduling service
+/// ([`crate::service`]) shares it so a served decision is seeded identically
+/// to the simulation it stands in for.
+pub fn scheduler_seed(base_seed: u64, scenario_seed: u64, trial_index: usize) -> u64 {
+    derive_seed(trial_seed(base_seed, scenario_seed, trial_index), 0x5EED)
+}
+
 /// Run one instance: realize the scenario's availability for the trial
 /// (according to the scenario's [`dg_platform::TrialModel`], with the slot
 /// cap as the trace horizon), build the heuristic, and simulate until
@@ -89,10 +99,8 @@ pub fn run_instance_on<A: AvailabilityModel>(
     max_slots: u64,
     mode: SimMode,
 ) -> (SimOutcome, EngineReport) {
-    let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
-    // The RANDOM heuristic gets its own stream so that its draws are not
-    // correlated with the availability realization.
-    let mut scheduler = spec.heuristic.build_with_cache(derive_seed(seed, 0x5EED), cache);
+    let seed = scheduler_seed(base_seed, scenario.seed, spec.trial_index);
+    let mut scheduler = spec.heuristic.build_with_cache(seed, cache);
     let limits = SimulationLimits::with_max_slots(max_slots).expect("slot cap must be positive");
     let simulator = Simulator::new(scenario, availability).with_limits(limits).with_mode(mode);
     let (outcome, _, report) = simulator.run_with_report(scheduler.as_mut());
@@ -116,8 +124,8 @@ pub fn run_instance_logged<A: AvailabilityModel>(
     max_slots: u64,
     mode: SimMode,
 ) -> (SimOutcome, EventLog) {
-    let seed = trial_seed(base_seed, scenario.seed, spec.trial_index);
-    let mut scheduler = spec.heuristic.build_with_cache(derive_seed(seed, 0x5EED), cache);
+    let seed = scheduler_seed(base_seed, scenario.seed, spec.trial_index);
+    let mut scheduler = spec.heuristic.build_with_cache(seed, cache);
     let limits = SimulationLimits::with_max_slots(max_slots).expect("slot cap must be positive");
     let simulator = Simulator::new(scenario, availability)
         .with_limits(limits)

@@ -67,5 +67,6 @@ pub use passive::{PassiveKind, PassiveScheduler};
 pub use proactive::{ProactiveCriterion, ProactiveScheduler};
 pub use random::RandomScheduler;
 pub use registry::{
-    all_heuristic_names, build_heuristic, build_heuristic_with_cache, HeuristicSpec,
+    all_heuristic_names, build_heuristic, build_heuristic_with_cache, parse_heuristic_named,
+    HeuristicSpec,
 };

@@ -97,6 +97,21 @@ pub fn all_heuristic_names() -> Vec<String> {
     HeuristicSpec::all().iter().map(|s| s.name()).collect()
 }
 
+/// Parse a paper-style heuristic name with a user-facing error: unknown names
+/// fail with the full list of valid registry names. This is the entry point
+/// for surfaces where names are typed by hand (the `--heuristics` flag, the
+/// scheduling service's request protocol) rather than round-tripped from
+/// [`HeuristicSpec::name`].
+pub fn parse_heuristic_named(name: &str) -> Result<HeuristicSpec, String> {
+    HeuristicSpec::parse(name).map_err(|_| {
+        format!(
+            "unknown heuristic '{}'; valid names: {}",
+            name.trim(),
+            all_heuristic_names().join(", ")
+        )
+    })
+}
+
 /// Build a heuristic from its paper name, with a private evaluation cache.
 pub fn build_heuristic(name: &str, seed: u64, epsilon: f64) -> Result<Box<dyn Scheduler>, String> {
     Ok(HeuristicSpec::parse(name)?.build(seed, epsilon))
@@ -145,6 +160,19 @@ mod tests {
         assert!(HeuristicSpec::parse("Y-XX").is_err());
         // Case-insensitive.
         assert_eq!(HeuristicSpec::parse("y-ie").unwrap(), HeuristicSpec::parse("Y-IE").unwrap());
+    }
+
+    #[test]
+    fn parse_heuristic_named_lists_the_registry_on_unknown_names() {
+        for spec in HeuristicSpec::all() {
+            assert_eq!(parse_heuristic_named(&spec.name()).unwrap(), spec);
+        }
+        assert_eq!(parse_heuristic_named(" y-ie ").unwrap(), HeuristicSpec::parse("Y-IE").unwrap());
+        let err = parse_heuristic_named("WARP").unwrap_err();
+        assert!(err.contains("unknown heuristic 'WARP'"), "{err}");
+        for name in all_heuristic_names() {
+            assert!(err.contains(&name), "error must list valid name {name}: {err}");
+        }
     }
 
     #[test]

@@ -68,6 +68,7 @@
 
 pub mod assignment;
 pub mod config;
+pub mod decision;
 pub mod engine;
 pub mod events;
 pub mod fixed;
@@ -78,6 +79,7 @@ pub mod worker_state;
 
 pub use assignment::Assignment;
 pub use config::ActiveConfiguration;
+pub use decision::DecisionContext;
 pub use engine::{EngineReport, InvalidLimits, SimMode, SimulationLimits, Simulator};
 pub use events::{Event, EventKind, EventLog};
 pub use fixed::FixedAssignmentScheduler;
