@@ -29,7 +29,9 @@ use crate::criteria::IterationEstimate;
 use crate::group::{GroupAccumulator, GroupComputation, GroupQuantities};
 use crate::series::WorkerSeries;
 use dg_platform::{MasterSpec, Platform};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -38,6 +40,19 @@ use std::sync::{Arc, RwLock};
 /// of the platform tables, so dropping them never changes a value — only how
 /// much work the next cache miss does.
 const ACCUMULATOR_TERM_BUDGET: u64 = 4_000_000;
+
+/// Number of independent lock shards in each memo table. Concurrent probes
+/// from a parallel candidate scan land on different shards with high
+/// probability, so they stop serializing on a single `RwLock`.
+const NUM_SHARDS: usize = 16;
+
+/// The shard a key lives in, from the std hasher. Values never move between
+/// shards (the hash of a key is stable), so lookups and inserts agree.
+fn shard_of<K: Hash + ?Sized>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % NUM_SHARDS
+}
 
 /// Immutable, scenario-scoped inputs of the Section V estimates: worker
 /// availability series, speeds, the master's `ncom` bound and the
@@ -149,18 +164,48 @@ impl EvalCacheStats {
 }
 
 /// The shared memo tables behind the Section V estimates.
-#[derive(Debug, Default)]
+///
+/// Each table is split into [`NUM_SHARDS`] independently locked shards keyed
+/// by the std hash of the member set, so concurrent probes from a parallel
+/// candidate scan contend only when they touch the same shard. The counters
+/// stay global atomics: totals must be exact regardless of sharding.
+#[derive(Debug)]
 struct CacheState {
-    group: RwLock<HashMap<Vec<usize>, GroupQuantities>>,
-    no_down: RwLock<HashMap<(usize, u64), f64>>,
+    group: Vec<RwLock<HashMap<Vec<usize>, GroupQuantities>>>,
+    no_down: Vec<RwLock<HashMap<(usize, u64), f64>>>,
     /// Prefix accumulators keyed by sorted member set: `accums[S]` holds the
     /// per-`t` joint products of `S`, so a miss on `S ∪ {q}` (with `q` above
     /// every member of `S`) extends in O(terms) instead of recomputing the
     /// whole series. Bounded by [`ACCUMULATOR_TERM_BUDGET`].
-    accums: RwLock<HashMap<Vec<usize>, Arc<GroupAccumulator>>>,
+    accums: Vec<RwLock<HashMap<Vec<usize>, Arc<GroupAccumulator>>>>,
     accum_terms: AtomicU64,
+    /// Prefix-accumulator extensions performed (including ones later evicted
+    /// or lost to racing duplicate builds) — the chain-sharing diagnostic the
+    /// scaling bench records: a decision whose probe sequence shares prefixes
+    /// poorly builds many more accumulators than its misses suggest, and that
+    /// extension work is exactly what `series_terms` (final groups only)
+    /// cannot see.
+    accum_built: AtomicU64,
+    /// Total series terms evaluated by group misses — the per-decision series
+    /// workload, for the scaling bench's cost attribution.
+    series_terms: AtomicU64,
     group_hits: AtomicU64,
     group_misses: AtomicU64,
+}
+
+impl Default for CacheState {
+    fn default() -> Self {
+        CacheState {
+            group: (0..NUM_SHARDS).map(|_| RwLock::default()).collect(),
+            no_down: (0..NUM_SHARDS).map(|_| RwLock::default()).collect(),
+            accums: (0..NUM_SHARDS).map(|_| RwLock::default()).collect(),
+            accum_terms: AtomicU64::new(0),
+            accum_built: AtomicU64::new(0),
+            series_terms: AtomicU64::new(0),
+            group_hits: AtomicU64::new(0),
+            group_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A shareable evaluation cache over one scenario's [`PlatformTables`].
@@ -168,13 +213,23 @@ struct CacheState {
 /// Cloning is cheap (two `Arc` bumps) and every clone reads and writes the
 /// *same* memo tables, so one cache created next to a scenario serves every
 /// heuristic and every trial evaluated on that scenario. All methods take
-/// `&self`; concurrent lookups are safe (reads share an `RwLock`, a miss
-/// computes outside the lock and inserts). Racing misses of the same set
+/// `&self`; concurrent lookups are safe (reads share sharded `RwLock`s, a
+/// miss computes outside the lock and inserts). Racing misses of the same set
 /// insert identical values, so results never depend on sharing or timing.
+///
+/// `decision_threads` lives on the **handle**, not the shared state: it only
+/// chooses how many scoped threads a miss may use to fill the term axis of a
+/// series ([`GroupAccumulator::extend_with_threads`] — bit-identical on every
+/// thread count), never what any value is. Clones inherit it;
+/// [`EvalCache::with_decision_threads`] derives a handle with a different
+/// count over the *same* memo tables, which is how a parallel `op:batch`
+/// gives each concurrent request a serial scan without mutating the shared
+/// cache.
 #[derive(Debug, Clone)]
 pub struct EvalCache {
     tables: Arc<PlatformTables>,
     state: Arc<CacheState>,
+    decision_threads: usize,
 }
 
 impl EvalCache {
@@ -191,12 +246,33 @@ impl EvalCache {
 
     /// Build an empty cache over existing tables.
     pub fn from_tables(tables: Arc<PlatformTables>) -> Self {
-        EvalCache { tables, state: Arc::new(CacheState::default()) }
+        EvalCache { tables, state: Arc::new(CacheState::default()), decision_threads: 1 }
     }
 
     /// The immutable platform tables the cached quantities derive from.
     pub fn tables(&self) -> &PlatformTables {
         &self.tables
+    }
+
+    /// Set how many scoped threads a cache miss may use to fill the term axis
+    /// of its series (clamped to at least 1). Purely a performance knob:
+    /// every value is bit-identical on every thread count.
+    pub fn set_decision_threads(&mut self, threads: usize) {
+        self.decision_threads = threads.max(1);
+    }
+
+    /// The intra-decision thread count of this handle.
+    pub fn decision_threads(&self) -> usize {
+        self.decision_threads
+    }
+
+    /// A handle over the **same** memo tables with a different intra-decision
+    /// thread count. Lets one consumer (e.g. a parallel `op:batch` fan-out)
+    /// run serial scans against a shared cache without mutating it.
+    pub fn with_decision_threads(&self, threads: usize) -> EvalCache {
+        let mut handle = self.clone();
+        handle.set_decision_threads(threads);
+        handle
     }
 
     /// `true` if `self` and `other` are handles to the same memo tables.
@@ -222,7 +298,8 @@ impl EvalCache {
 
     /// Lookup/compute for a key known to be sorted and duplicate-free.
     fn group_sorted(&self, key: &[usize]) -> GroupQuantities {
-        if let Some(&g) = self.state.group.read().expect("eval cache poisoned").get(key) {
+        let shard = &self.state.group[shard_of(key)];
+        if let Some(&g) = shard.read().expect("eval cache poisoned").get(key) {
             self.state.group_hits.fetch_add(1, Ordering::Relaxed);
             return g;
         }
@@ -237,7 +314,8 @@ impl EvalCache {
         } else {
             self.tables.compute_group(key)
         };
-        self.state.group.write().expect("eval cache poisoned").insert(key.to_vec(), g);
+        self.state.series_terms.fetch_add(g.terms_evaluated, Ordering::Relaxed);
+        shard.write().expect("eval cache poisoned").insert(key.to_vec(), g);
         g
     }
 
@@ -250,7 +328,8 @@ impl EvalCache {
     /// [`PlatformTables`]' direct computation. Racing builds of the same key
     /// therefore insert identical values; the first insert wins.
     fn accumulator_for(&self, key: &[usize]) -> Arc<GroupAccumulator> {
-        if let Some(acc) = self.state.accums.read().expect("eval cache poisoned").get(key) {
+        let shard = &self.state.accums[shard_of(key)];
+        if let Some(acc) = shard.read().expect("eval cache poisoned").get(key) {
             return Arc::clone(acc);
         }
         let base = if key.len() == 1 {
@@ -260,18 +339,24 @@ impl EvalCache {
         };
         let last = key[key.len() - 1];
         let extended = Arc::new(
-            base.extend(self.tables.worker_series(last))
+            base.extend_with_threads(&[self.tables.worker_series(last)], self.decision_threads)
                 .expect("every prefix of a chain rooted at a can-fail worker can fail"),
         );
-        let mut map = self.state.accums.write().expect("eval cache poisoned");
-        if let Some(existing) = map.get(key) {
-            return Arc::clone(existing);
-        }
+        // Budget bookkeeping happens before taking any write lock: an
+        // over-budget eviction sweeps every shard sequentially, which must
+        // not deadlock against our own shard's lock.
+        self.state.accum_built.fetch_add(1, Ordering::Relaxed);
         let added = extended.stored_terms() as u64;
         let total = self.state.accum_terms.fetch_add(added, Ordering::Relaxed) + added;
         if total > ACCUMULATOR_TERM_BUDGET {
-            map.clear();
+            for s in &self.state.accums {
+                s.write().expect("eval cache poisoned").clear();
+            }
             self.state.accum_terms.store(added, Ordering::Relaxed);
+        }
+        let mut map = shard.write().expect("eval cache poisoned");
+        if let Some(existing) = map.get(key) {
+            return Arc::clone(existing);
         }
         map.insert(key.to_vec(), Arc::clone(&extended));
         extended
@@ -280,23 +365,24 @@ impl EvalCache {
     /// Memoized `P^(q)_{ND}(t)`: probability that worker `q` does not go
     /// `DOWN` within `t` slots, starting `UP`.
     pub fn no_down_within(&self, q: usize, t: u64) -> f64 {
-        if let Some(&p) = self.state.no_down.read().expect("eval cache poisoned").get(&(q, t)) {
+        let shard = &self.state.no_down[shard_of(&(q, t))];
+        if let Some(&p) = shard.read().expect("eval cache poisoned").get(&(q, t)) {
             return p;
         }
         let p = self.tables.series[q].no_down_within(t);
-        self.state.no_down.write().expect("eval cache poisoned").insert((q, t), p);
+        shard.write().expect("eval cache poisoned").insert((q, t), p);
         p
     }
 
     /// Number of distinct worker sets currently memoized.
     pub fn cached_sets(&self) -> usize {
-        self.state.group.read().expect("eval cache poisoned").len()
+        self.state.group.iter().map(|s| s.read().expect("eval cache poisoned").len()).sum()
     }
 
     /// Number of prefix accumulators currently retained (exposed for the
     /// scaling bench and tests; see [`GroupAccumulator`]).
     pub fn cached_accumulators(&self) -> usize {
-        self.state.accums.read().expect("eval cache poisoned").len()
+        self.state.accums.iter().map(|s| s.read().expect("eval cache poisoned").len()).sum()
     }
 
     /// Group-lookup hit/miss counters since creation (or the last
@@ -308,12 +394,36 @@ impl EvalCache {
         }
     }
 
+    /// Total series terms evaluated by group misses since creation (or the
+    /// last [`EvalCache::clear`]) — the series workload behind the misses,
+    /// used by the scaling bench to attribute decision cost.
+    pub fn series_terms(&self) -> u64 {
+        self.state.series_terms.load(Ordering::Relaxed)
+    }
+
+    /// Total prefix-accumulator extensions performed since creation (or the
+    /// last [`EvalCache::clear`]), counting evicted and racing duplicate
+    /// builds — see [`EvalCache::cached_accumulators`] for the retained
+    /// count. The gap between `accumulators_built` and the group-miss count
+    /// measures how poorly the probe sequence shared accumulator chains.
+    pub fn accumulators_built(&self) -> u64 {
+        self.state.accum_built.load(Ordering::Relaxed)
+    }
+
     /// Drop all memoized quantities and reset the counters.
     pub fn clear(&self) {
-        self.state.group.write().expect("eval cache poisoned").clear();
-        self.state.no_down.write().expect("eval cache poisoned").clear();
-        self.state.accums.write().expect("eval cache poisoned").clear();
+        for shard in &self.state.group {
+            shard.write().expect("eval cache poisoned").clear();
+        }
+        for shard in &self.state.no_down {
+            shard.write().expect("eval cache poisoned").clear();
+        }
+        for shard in &self.state.accums {
+            shard.write().expect("eval cache poisoned").clear();
+        }
         self.state.accum_terms.store(0, Ordering::Relaxed);
+        self.state.accum_built.store(0, Ordering::Relaxed);
+        self.state.series_terms.store(0, Ordering::Relaxed);
         self.state.group_hits.store(0, Ordering::Relaxed);
         self.state.group_misses.store(0, Ordering::Relaxed);
     }
@@ -736,5 +846,77 @@ mod tests {
             }
         });
         assert_eq!(cache.cached_sets(), sets.len());
+    }
+
+    #[test]
+    fn sharded_cache_stress_counts_every_concurrent_lookup() {
+        // Many threads hammering many distinct sets across all lock shards:
+        // every observed value must equal the sequential reference, and the
+        // global counters must account for every single lookup issued —
+        // hits + misses == threads × reps × sets, with at least one miss per
+        // distinct set and every set memoized exactly once.
+        let s = paper_scenario();
+        let cache = EvalCache::with_default_epsilon(&s.platform, &s.master);
+        let reference = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let n = s.platform.num_workers();
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            for len in 1..=4usize {
+                let set: Vec<usize> = (start..(start + len).min(n)).collect();
+                if !sets.contains(&set) {
+                    sets.push(set);
+                }
+            }
+        }
+        let threads = 8;
+        let reps = 5;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = cache.clone();
+                let sets = &sets;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..reps {
+                        for set in sets {
+                            assert_eq!(cache.group(set), reference.group(set), "set {set:?}");
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), (threads * reps * sets.len()) as u64);
+        assert!(stats.group_misses >= sets.len() as u64);
+        assert_eq!(cache.cached_sets(), sets.len());
+        assert!(cache.series_terms() > 0);
+        cache.clear();
+        assert_eq!(cache.series_terms(), 0);
+    }
+
+    #[test]
+    fn decision_thread_handles_share_state_and_values() {
+        let s = paper_scenario();
+        let mut cache = EvalCache::with_default_epsilon(&s.platform, &s.master);
+        assert_eq!(cache.decision_threads(), 1);
+        cache.set_decision_threads(4);
+        assert_eq!(cache.decision_threads(), 4);
+        cache.set_decision_threads(0); // clamped
+        assert_eq!(cache.decision_threads(), 1);
+
+        // An override handle shares the memo tables but not the knob.
+        cache.set_decision_threads(8);
+        let serial = cache.with_decision_threads(1);
+        assert!(serial.shares_state_with(&cache));
+        assert_eq!(serial.decision_threads(), 1);
+        assert_eq!(cache.decision_threads(), 8);
+
+        // Values computed under any thread count are identical and land in
+        // the shared tables.
+        let reference = Estimator::with_default_epsilon(&s.platform, &s.master);
+        let set = [0usize, 1, 2, 3];
+        assert_eq!(cache.group(&set), reference.group(&set));
+        let before = serial.stats();
+        assert_eq!(serial.group(&set), reference.group(&set));
+        assert_eq!(serial.stats().since(&before).group_misses, 0, "second handle must hit");
     }
 }

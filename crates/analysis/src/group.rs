@@ -38,6 +38,11 @@ pub const MAX_SERIES_TERMS: u64 = 200_000;
 /// fail (where the geometric tail bound does not apply).
 pub const MAX_RECURRENCE_TERMS: u64 = 20_000;
 
+/// Minimum series length before [`GroupAccumulator::extend_with_threads`]
+/// bothers spawning scoped threads; shorter series are cheaper than the
+/// spawn/join overhead.
+const PARALLEL_EXTEND_MIN_TERMS: usize = 2_048;
+
 /// The group-level quantities of Section V-A for a fixed set `S`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GroupQuantities {
@@ -166,6 +171,49 @@ impl GroupComputation {
         Some(acc)
     }
 
+    /// Build the accumulator by range-splitting `workers` into `parts`
+    /// contiguous chunks of the slice, accumulating each chunk (in slice
+    /// order) on its own scoped thread, and merging the chunk accumulators
+    /// left to right.
+    ///
+    /// Because [`GroupAccumulator::merge`] folds the two joint products in a
+    /// different association order than a batch evaluation, the result agrees
+    /// with [`GroupComputation::accumulate`] only to floating rounding
+    /// (~`1e-12` relative), **not** bit for bit — which is why the
+    /// `EvalCache` decision path never uses this constructor. It exists for
+    /// bulk offline evaluation of very large member sets; chunks that cannot
+    /// fail on their own have no series to merge, so mixed slices fall back
+    /// to the serial chain.
+    pub fn accumulate_split(
+        &self,
+        workers: &[&WorkerSeries],
+        parts: usize,
+    ) -> Option<GroupAccumulator> {
+        let parts = parts.clamp(1, workers.len().max(1));
+        if parts <= 1 || workers.len() < 2 {
+            return self.accumulate(workers);
+        }
+        let chunk = workers.len().div_ceil(parts);
+        let chunks: Vec<&[&WorkerSeries]> = workers.chunks(chunk).collect();
+        // A chunk with no failing worker has no truncated series of its own;
+        // folding it into a neighbour would reorder the products, so use the
+        // serial chain instead.
+        if chunks.iter().any(|c| !c.iter().any(|w| w.can_fail())) {
+            return self.accumulate(workers);
+        }
+        let accs: Vec<Option<GroupAccumulator>> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                chunks.iter().map(|&c| scope.spawn(move || self.accumulate(c))).collect();
+            handles.into_iter().map(|h| h.join().expect("chunk accumulation panicked")).collect()
+        });
+        let mut iter = accs.into_iter();
+        let mut acc = iter.next()??;
+        for next in iter {
+            acc = acc.merge(&next?)?;
+        }
+        Some(acc)
+    }
+
     /// First-return recurrence, used when no worker of the set can fail
     /// (`P₊ = 1`): `P₊(t) = P^(S)(t) − Σ_{0<t'<t} P₊(t')·P^(S)(t−t')`.
     fn compute_recurrence(&self, workers: &[&WorkerSeries]) -> GroupQuantities {
@@ -238,6 +286,51 @@ impl Default for GroupComputation {
     }
 }
 
+/// The truncation length of Theorem 5.1's series for a set with joint
+/// dominant eigenvalue `raw_lambda` at precision `epsilon`.
+///
+/// The break condition of the truncation loop depends **only** on `Λ` and
+/// `t` — never on the evaluated joint probabilities — so the term count is a
+/// pure scalar function of `(ε, Λ)`. This is what lets the term axis be
+/// filled in parallel ([`GroupAccumulator::extend_with_threads`]) while
+/// staying bit-identical to the sequential loop: the truncation point is
+/// decided up front, identically, on every path.
+pub fn series_len(epsilon: f64, raw_lambda: f64) -> u64 {
+    let lambda = raw_lambda.min(1.0 - 1e-12);
+    let one_minus = 1.0 - lambda;
+    let mut t = 1u64;
+    let mut lambda_pow = lambda; // Λ^t
+    loop {
+        // Tail bounds after summing term t:
+        //   Σ_{s>t} Λ^s           = Λ^{t+1} / (1 − Λ)
+        //   Σ_{s>t} s·Λ^s         = Λ^{t+1}·( (t+1)/(1−Λ) + Λ/(1−Λ)² )
+        let tail_eu = lambda_pow * lambda / one_minus;
+        let tail_a =
+            lambda_pow * lambda * ((t + 1) as f64 / one_minus + lambda / (one_minus * one_minus));
+        if (tail_eu <= epsilon && tail_a <= epsilon) || t >= MAX_SERIES_TERMS {
+            return t;
+        }
+        lambda_pow *= lambda;
+        t += 1;
+    }
+}
+
+/// Fold the evaluated joint products into the Section V quantities, strictly
+/// in `t` order. Shared by every series path (batch, extension, merge,
+/// threaded extension) so the floating-point accumulation order — and hence
+/// the result, bit for bit — is identical on all of them.
+fn fold_series(terms: impl IntoIterator<Item = f64>, t_final: u64) -> GroupQuantities {
+    let mut eu = 0.0;
+    let mut a = 0.0;
+    for (i, p) in terms.into_iter().enumerate() {
+        eu += p;
+        a += (i + 1) as f64 * p;
+    }
+    let p_plus = eu / (1.0 + eu);
+    let e_c = a * (1.0 - p_plus) / (1.0 + eu);
+    GroupQuantities { eu, a, p_plus, e_c, can_fail: true, terms_evaluated: t_final }
+}
+
 /// The truncation loop of Theorem 5.1, shared by the batch
 /// [`GroupComputation::compute`] path and [`GroupAccumulator`]. Keeping one
 /// accumulation order (and one tail-bound break condition) is what makes the
@@ -251,35 +344,15 @@ fn run_series(
     mut joint_at: impl FnMut(u64) -> f64,
     mut record: impl FnMut(f64),
 ) -> GroupQuantities {
-    let lambda = raw_lambda.min(1.0 - 1e-12);
-    let one_minus = 1.0 - lambda;
-
-    let mut eu = 0.0;
-    let mut a = 0.0;
-    let mut t = 1u64;
-    let mut lambda_pow = lambda; // Λ^t
-    loop {
-        let p = joint_at(t);
-        record(p);
-        eu += p;
-        a += t as f64 * p;
-
-        // Tail bounds after summing term t:
-        //   Σ_{s>t} Λ^s           = Λ^{t+1} / (1 − Λ)
-        //   Σ_{s>t} s·Λ^s         = Λ^{t+1}·( (t+1)/(1−Λ) + Λ/(1−Λ)² )
-        let tail_eu = lambda_pow * lambda / one_minus;
-        let tail_a =
-            lambda_pow * lambda * ((t + 1) as f64 / one_minus + lambda / (one_minus * one_minus));
-        if (tail_eu <= epsilon && tail_a <= epsilon) || t >= MAX_SERIES_TERMS {
-            break;
-        }
-        lambda_pow *= lambda;
-        t += 1;
-    }
-
-    let p_plus = eu / (1.0 + eu);
-    let e_c = a * (1.0 - p_plus) / (1.0 + eu);
-    GroupQuantities { eu, a, p_plus, e_c, can_fail: true, terms_evaluated: t }
+    let t_final = series_len(epsilon, raw_lambda);
+    fold_series(
+        (1..=t_final).map(|t| {
+            let p = joint_at(t);
+            record(p);
+            p
+        }),
+        t_final,
+    )
 }
 
 /// Incremental, mergeable state of one truncated-series evaluation: the
@@ -359,29 +432,85 @@ impl GroupAccumulator {
     /// if the extended set cannot fail (its quantities come from the
     /// first-return recurrence, which this accumulator does not model).
     pub fn extend(&self, worker: &WorkerSeries) -> Option<GroupAccumulator> {
-        if !(self.quantities.can_fail || worker.can_fail()) {
+        self.extend_with_threads(&[worker], 1)
+    }
+
+    /// Extend the accumulated set by several workers at once, folding them in
+    /// slice order. Bit-identical to chaining [`GroupAccumulator::extend`]
+    /// over the same slice: each term is the same left fold
+    /// `(..((prefix·u₁)·u₂)..)·u_k`, and the truncation point — a pure
+    /// function of `(ε, Λ)`, see [`series_len`] — is the same.
+    pub fn extend_with(&self, workers: &[&WorkerSeries]) -> Option<GroupAccumulator> {
+        self.extend_with_threads(workers, 1)
+    }
+
+    /// [`GroupAccumulator::extend_with`], with the term axis chunked across
+    /// `threads` scoped threads for long series.
+    ///
+    /// Stays bit-identical to the sequential extension on every thread count:
+    /// the truncation length is decided up front by [`series_len`] (it never
+    /// depends on the term values), every stored term `joint[t]` is the same
+    /// left-fold product no matter which thread computes it, and the
+    /// reduction to [`GroupQuantities`] folds the finished term array
+    /// serially in `t` order.
+    pub fn extend_with_threads(
+        &self,
+        workers: &[&WorkerSeries],
+        threads: usize,
+    ) -> Option<GroupAccumulator> {
+        if workers.is_empty() {
+            return Some(self.clone());
+        }
+        if !(self.quantities.can_fail || workers.iter().any(|w| w.can_fail())) {
             return None;
         }
-        let raw_lambda = self.raw_lambda * worker.lambda1();
+        // Sequential fold, not `product()`: matches the chained-extend
+        // association `((raw·λ₁)·λ₂)·…` so `series_len` sees the same Λ bits.
+        let raw_lambda = workers.iter().fold(self.raw_lambda, |l, w| l * w.lambda1());
         let base = &self.joint;
         let base_is_empty = self.members == 0;
-        let mut joint = Vec::with_capacity(if base_is_empty { 64 } else { base.len() });
-        let quantities = run_series(
-            self.epsilon,
-            raw_lambda,
-            |t| {
-                // The stored prefix product is the exact left fold of the base
-                // slice; multiplying the new worker last reproduces the batch
-                // fold `(..((1·u₁)·u₂)..)·u_k` bitwise.
-                let prefix = if base_is_empty { 1.0 } else { base[(t - 1) as usize] };
-                prefix * worker.up_to_up(t)
-            },
-            |p| joint.push(p),
-        );
+        let mut t_final = series_len(self.epsilon, raw_lambda);
+        if !base_is_empty {
+            // Λ only shrinks under extension, so the base always stores
+            // enough terms; the clamp is belt-and-braces for release builds.
+            debug_assert!(
+                base.len() as u64 >= t_final,
+                "extension needs {t_final} terms but the base stored {}",
+                base.len()
+            );
+            t_final = t_final.min(base.len() as u64);
+        }
+        let joint_at = |t: u64| -> f64 {
+            // The stored prefix product is the exact left fold of the base
+            // slice; multiplying the new workers last, in slice order,
+            // reproduces the batch fold `(..((1·u₁)·u₂)..)·u_k` bitwise.
+            let prefix = if base_is_empty { 1.0 } else { base[(t - 1) as usize] };
+            workers.iter().fold(prefix, |p, w| p * w.up_to_up(t))
+        };
+        let mut joint = vec![0.0f64; t_final as usize];
+        let threads = threads.clamp(1, joint.len().max(1));
+        if threads > 1 && joint.len() >= PARALLEL_EXTEND_MIN_TERMS {
+            let chunk = joint.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, slice) in joint.chunks_mut(chunk).enumerate() {
+                    let joint_at = &joint_at;
+                    scope.spawn(move || {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            *slot = joint_at((ci * chunk + i + 1) as u64);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (i, slot) in joint.iter_mut().enumerate() {
+                *slot = joint_at((i + 1) as u64);
+            }
+        }
+        let quantities = fold_series(joint.iter().copied(), t_final);
         Some(GroupAccumulator {
             joint,
             raw_lambda,
-            members: self.members + 1,
+            members: self.members + workers.len(),
             quantities,
             epsilon: self.epsilon,
         })
@@ -593,6 +722,87 @@ mod tests {
         }
         let chained = comp.accumulate(&workers.iter().collect::<Vec<_>>()).unwrap();
         assert_eq!(chained.quantities(), acc.quantities());
+    }
+
+    #[test]
+    fn multi_worker_extension_matches_the_chained_path_bit_for_bit() {
+        let comp = GroupComputation::default();
+        let workers = [
+            series(0.95, 0.92, 0.9),
+            series(0.93, 0.96, 0.94),
+            series(0.9, 0.9, 0.9),
+            series(0.97, 0.91, 0.95),
+        ];
+        let refs: Vec<&WorkerSeries> = workers.iter().collect();
+        let chained = comp.accumulate(&refs).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let bulk = GroupAccumulator::empty(comp.epsilon())
+                .extend_with_threads(&refs, threads)
+                .expect("all workers can fail");
+            assert_eq!(bulk.quantities(), chained.quantities(), "threads = {threads}");
+            assert_eq!(bulk.num_members(), chained.num_members());
+            assert_eq!(bulk.stored_terms(), chained.stored_terms());
+        }
+        // Splitting the slice across an extend boundary must not matter.
+        let front = GroupAccumulator::empty(comp.epsilon()).extend_with(&refs[..2]).unwrap();
+        let whole = front.extend_with(&refs[2..]).unwrap();
+        assert_eq!(whole.quantities(), chained.quantities());
+    }
+
+    #[test]
+    fn threaded_extension_is_bit_identical_on_long_series() {
+        // λ close to 1 forces a truncation length past the spawn threshold so
+        // the scoped-thread path genuinely runs.
+        let comp = GroupComputation::new(1e-12);
+        let workers = [series(0.9995, 0.999, 0.9991), series(0.9993, 0.9992, 0.999)];
+        let refs: Vec<&WorkerSeries> = workers.iter().collect();
+        let serial = comp.accumulate(&refs).unwrap();
+        assert!(
+            serial.stored_terms() >= PARALLEL_EXTEND_MIN_TERMS,
+            "test platform too short-lived: {} terms",
+            serial.stored_terms()
+        );
+        for threads in [2usize, 4, 8] {
+            let parallel = GroupAccumulator::empty(comp.epsilon())
+                .extend_with_threads(&refs, threads)
+                .unwrap();
+            assert_eq!(parallel.quantities(), serial.quantities(), "threads = {threads}");
+            assert_eq!(parallel.stored_terms(), serial.stored_terms());
+        }
+    }
+
+    #[test]
+    fn range_split_accumulation_agrees_with_the_serial_chain() {
+        let comp = GroupComputation::default();
+        let workers = [
+            series(0.95, 0.92, 0.9),
+            series(0.93, 0.96, 0.94),
+            series(0.9, 0.9, 0.9),
+            series(0.97, 0.91, 0.95),
+            series(0.94, 0.95, 0.92),
+        ];
+        let refs: Vec<&WorkerSeries> = workers.iter().collect();
+        let serial = comp.accumulate(&refs).unwrap().quantities();
+        for parts in [1usize, 2, 3, 5, 9] {
+            let split = comp.accumulate_split(&refs, parts).unwrap().quantities();
+            assert!((split.eu - serial.eu).abs() <= 1e-12 * (1.0 + serial.eu.abs()));
+            assert!((split.a - serial.a).abs() <= 1e-12 * (1.0 + serial.a.abs()));
+            assert!((split.p_plus - serial.p_plus).abs() <= 1e-12);
+            assert!((split.e_c - serial.e_c).abs() <= 1e-12 * (1.0 + serial.e_c.abs()));
+        }
+        // A no-fail-only chunk falls back to the serial chain bit for bit.
+        let chain = MarkovChain3::new(dg_availability::Matrix3::new([
+            [0.9, 0.1, 0.0],
+            [0.3, 0.7, 0.0],
+            [0.0, 0.0, 1.0],
+        ]))
+        .unwrap();
+        let reclaim_only = WorkerSeries::new(&chain);
+        let mixed: Vec<&WorkerSeries> = vec![&workers[0], &workers[1], &reclaim_only];
+        // parts = 3 would isolate the reclaim-only worker in its own chunk.
+        let split = comp.accumulate_split(&mixed, 3).unwrap();
+        let chained = comp.accumulate(&mixed).unwrap();
+        assert_eq!(split.quantities(), chained.quantities());
     }
 
     #[test]

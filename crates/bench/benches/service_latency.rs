@@ -15,8 +15,9 @@
 //! * `DG_SERVICE_WARM_ITERS` overrides the warm-sample count (default 50;
 //!   CI smoke runs use a smaller value).
 
-use dg_experiments::service::{DecideRequest, ServiceCore};
+use dg_experiments::service::{DecideRequest, ScheduleService, ServiceCore};
 use dg_platform::{Scenario, ScenarioParams};
+use std::sync::Arc;
 
 /// The paper's platform scale: 20 workers, m = 5, ncom = 10, wmin = 2.
 fn bench_core() -> ServiceCore {
@@ -73,9 +74,63 @@ fn measure(heuristic: &'static str, warm_iters: usize) -> Row {
     }
 }
 
+/// One warm `op:batch` measurement at a fixed intra-decision thread count.
+struct BatchPoint {
+    decision_threads: usize,
+    latency_us: u64,
+    /// The per-member `"id":N,…,"assignment":…` fragments, for the
+    /// serial-vs-parallel identity assert.
+    assignments: Vec<String>,
+}
+
+/// Extract the batch-level `latency_us` (the last one on the line — member
+/// replies carry their own) from a rendered batch reply.
+fn batch_latency(reply: &str) -> u64 {
+    let at = reply.rfind("\"latency_us\":").expect("batch reply has a latency") + 13;
+    reply[at..].chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().unwrap()
+}
+
+/// Extract member `id`'s assignment value from a rendered batch reply.
+fn member_assignment(reply: &str, id: usize) -> String {
+    let member = reply.find(&format!("\"id\":{id},")).expect("member reply present");
+    let rest = &reply[member..];
+    let at = rest.find("\"assignment\":").unwrap() + 13;
+    rest[at..at + rest[at..].find(",\"latency_us\"").unwrap()].to_string()
+}
+
+/// Answer the same `group`-member batch twice on one warm core configured
+/// for `decision_threads` — the first pass pays the cold misses, the second
+/// is the measured warm batch (entirely cache hits, like the per-request
+/// warm path above).
+fn measure_batch(decision_threads: usize, group: usize) -> BatchPoint {
+    let mut core = bench_core();
+    core.cache.set_decision_threads(decision_threads);
+    let mut service = ScheduleService::new(Arc::new(core));
+    let heuristics = ["IE", "IAY", "P-IE", "E-IE", "Y-IE", "Y-IAY"];
+    let entries: Vec<String> = (0..group)
+        .map(|i| {
+            let mut req = bench_request(heuristics[i % heuristics.len()]);
+            req.id = Some(i as u64);
+            req.render()
+        })
+        .collect();
+    let line = format!("{{\"batch\":[{}]}}", entries.join(","));
+    let _cold = service.handle_line(&line);
+    let reply = service.handle_line(&line).pop().expect("a batch answers as one line");
+    assert!(
+        reply.ends_with(&format!("\"decision_threads\":{decision_threads}}}")),
+        "batch reply must report its thread count: {reply}"
+    );
+    BatchPoint {
+        decision_threads,
+        latency_us: batch_latency(&reply),
+        assignments: (0..group).map(|id| member_assignment(&reply, id)).collect(),
+    }
+}
+
 /// Hand-rolled JSON (the workspace vendors a no-op `serde` shim); heuristic
 /// names are fixed ASCII literals, hence no escaping is needed.
-fn render_json(warm_iters: usize, rows: &[Row]) -> String {
+fn render_json(warm_iters: usize, rows: &[Row], batch: &[BatchPoint], group: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"service_latency\",\n");
@@ -94,7 +149,17 @@ fn render_json(warm_iters: usize, rows: &[Row]) -> String {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"batch\": {{\"requests\": {group}, \"points\": [\n"));
+    for (i, pt) in batch.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"decision_threads\": {}, \"latency_us\": {}}}{}\n",
+            pt.decision_threads,
+            pt.latency_us,
+            if i + 1 < batch.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]}\n");
     out.push_str("}\n");
     out
 }
@@ -118,8 +183,28 @@ fn main() {
         rows.push(row);
     }
 
+    // The parallel-batch point: the same warm 12-request batch answered
+    // serially and through a 4-thread fan-out. The members' assignments must
+    // be byte-identical — the fan-out only re-orders who computes, never
+    // what is computed.
+    let group = 12;
+    let batch: Vec<BatchPoint> = [1usize, 4].iter().map(|&t| measure_batch(t, group)).collect();
+    for pair in batch.windows(2) {
+        assert_eq!(
+            pair[0].assignments, pair[1].assignments,
+            "batch assignments diverged between {} and {} decision threads",
+            pair[0].decision_threads, pair[1].decision_threads
+        );
+    }
+    for pt in &batch {
+        println!(
+            "service: batch of {group} at {} decision thread(s) = {:>6} us",
+            pt.decision_threads, pt.latency_us
+        );
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
-    let json = render_json(warm_iters, &rows);
+    let json = render_json(warm_iters, &rows, &batch, group);
     std::fs::write(path, json).expect("write BENCH_service.json");
     println!("service: wrote {} row(s) to {path}", rows.len());
 }

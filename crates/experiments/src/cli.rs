@@ -7,7 +7,8 @@
 //! --trials N       availability realizations per scenario    [default 3]
 //! --cap N          slot cap per run                          [default 200000]
 //! --suite S        scenario suite: a preset name (paper,
-//!                  volatile, largegrid, commbound, massive)
+//!                  volatile, largegrid, commbound, massive,
+//!                  colossal)
 //!                  or a suite file path                      [default paper]
 //! --workers N      platform size override (e.g. a reduced
 //!                  massive smoke run)                        [default: suite's]
@@ -16,6 +17,10 @@
 //! --heuristics L   comma-separated heuristic names to run
 //!                  (paper names, e.g. IE,IAY,Y-IE)           [default: the binary's list]
 //! --threads N      worker threads, 0 = auto-detect           [default 1]
+//! --decision-threads N  scoped threads inside each scheduling
+//!                  decision (candidate scan + series fill),
+//!                  byte-identical on every value;
+//!                  0 = auto-detect                            [default 1]
 //! --seed N         master seed                               [default 20130520]
 //! --engine MODE    simulation engine: event | slot           [default event]
 //! --out DIR        write manifest + JSONL shards to DIR as
@@ -63,6 +68,12 @@ pub struct CliOptions {
     pub heuristics: Option<Vec<HeuristicSpec>>,
     /// Worker threads (`--threads 0` = auto-detect available parallelism).
     pub threads: usize,
+    /// Scoped threads inside each scheduling decision
+    /// (`--decision-threads 0` = auto-detect). Orthogonal to `threads`
+    /// (which parallelizes *across* jobs): this parallelizes the candidate
+    /// scan and series evaluation *within* one decision, with byte-identical
+    /// results.
+    pub decision_threads: usize,
     /// Master seed.
     pub seed: u64,
     /// Simulation engine mode (`--engine slot|event`).
@@ -93,6 +104,7 @@ impl Default for CliOptions {
             wmin_values: None,
             heuristics: None,
             threads: 1,
+            decision_threads: 1,
             seed: 20130520,
             engine: SimMode::default(),
             out: None,
@@ -125,6 +137,7 @@ impl CliOptions {
                 "--trials" => opts.trials = parse_num(&take(arg)?, arg)?,
                 "--cap" => opts.max_slots = parse_num(&take(arg)?, arg)?,
                 "--threads" => opts.threads = parse_num(&take(arg)?, arg)?,
+                "--decision-threads" => opts.decision_threads = parse_num(&take(arg)?, arg)?,
                 "--seed" => opts.seed = parse_num(&take(arg)?, arg)?,
                 "--suite" => opts.suite = Some(take(arg)?),
                 "--workers" => opts.workers = Some(parse_num(&take(arg)?, arg)?),
@@ -264,7 +277,8 @@ impl CliOptions {
     /// figure code consumes retained results — plus `--out`/`--resume` and
     /// the `--worker-shard` point-range restriction).
     pub fn executor(&self) -> ExecutorOptions {
-        let mut options = ExecutorOptions::new().retain_raw(true);
+        let mut options =
+            ExecutorOptions::new().retain_raw(true).decision_threads(self.decision_threads);
         if let Some(dir) = &self.out {
             options = options.store(dir.clone(), self.resume);
         }
@@ -303,6 +317,7 @@ impl CliOptions {
             ("--trials", self.trials.to_string()),
             ("--cap", self.max_slots.to_string()),
             ("--threads", self.worker_threads(index, total).to_string()),
+            ("--decision-threads", self.decision_threads.to_string()),
             ("--seed", self.seed.to_string()),
             ("--engine", self.engine.to_string()),
         ]
@@ -375,9 +390,10 @@ fn parse_heuristics(value: &str) -> Result<Vec<HeuristicSpec>, String> {
 
 fn help_text() -> String {
     "usage: <binary> [--scenarios N] [--trials N] [--cap N] \
-     [--suite paper|volatile|largegrid|commbound|massive|FILE] [--workers N] \
+     [--suite paper|volatile|largegrid|commbound|massive|colossal|FILE] [--workers N] \
      [--ncom a,b,c] [--wmin a,b,c] [--heuristics NAME[,NAME...]] \
-     [--threads N (0 = auto)] [--seed N] [--engine slot|event] [--out DIR] \
+     [--threads N (0 = auto)] [--decision-threads N (0 = auto)] [--seed N] \
+     [--engine slot|event] [--out DIR] \
      [--resume] [--worker-shard I/N] [--spawn-workers N] [--full] [--quiet]"
         .to_string()
 }

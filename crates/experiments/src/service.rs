@@ -55,7 +55,7 @@
 //! killing the process).
 
 use crate::cli::CliOptions;
-use crate::executor::scenario_seed;
+use crate::executor::{resolve_threads, scenario_seed};
 use crate::runner::scheduler_seed;
 use dg_analysis::{EvalCache, EvalCacheStats};
 use dg_availability::{ProcState, StateTrace};
@@ -586,7 +586,9 @@ impl ServiceCore {
         let params = *config.points().first().expect("campaigns have at least one point");
         let seed = scenario_seed(config.base_seed, 0, 0);
         let scenario = Scenario::generate_with(params, &config.model, seed);
-        Ok(ServiceCore::new(scenario, config.epsilon, config.base_seed))
+        let mut core = ServiceCore::new(scenario, config.epsilon, config.base_seed);
+        core.cache.set_decision_threads(resolve_threads(opts.decision_threads));
+        Ok(core)
     }
 
     /// Answer one decision request. The heuristic is instantiated from the
@@ -595,14 +597,22 @@ impl ServiceCore {
     /// decision is returned with the request's decision latency and the
     /// cache hit/miss delta it incurred.
     pub fn decide(&self, req: &DecideRequest) -> Result<DecideReply, String> {
+        self.decide_with(req, &self.cache)
+    }
+
+    /// [`ServiceCore::decide`] through an explicit cache handle. Batch
+    /// fan-out passes serial ([`EvalCache::with_decision_threads`]) handles
+    /// over the same shared state here, so concurrent batch members don't
+    /// nest scoped pools inside scoped pools.
+    fn decide_with(&self, req: &DecideRequest, cache: &EvalCache) -> Result<DecideReply, String> {
         let spec = parse_heuristic_named(&req.heuristic)?;
         let seed = req
             .seed
             .unwrap_or_else(|| scheduler_seed(self.base_seed, self.scenario.seed, req.trial));
-        let mut scheduler = spec.build_with_cache(seed, &self.cache);
+        let mut scheduler = spec.build_with_cache(seed, cache);
         let mut ctx = self.context_of(req)?;
         ctx.normalize();
-        let before = self.cache.stats();
+        let before = cache.stats();
         let start = Instant::now();
         let decision = scheduler.decide(&ctx.view(
             &self.scenario.platform,
@@ -610,7 +620,7 @@ impl ServiceCore {
             &self.scenario.master,
         ));
         let latency_us = start.elapsed().as_micros() as u64;
-        let delta = self.cache.stats().since(&before);
+        let delta = cache.stats().since(&before);
         Ok(DecideReply {
             id: req.id,
             heuristic: spec.name(),
@@ -620,6 +630,7 @@ impl ServiceCore {
             },
             latency_us,
             cache: delta,
+            decision_threads: cache.decision_threads(),
         })
     }
 
@@ -706,6 +717,8 @@ pub struct DecideReply {
     pub latency_us: u64,
     /// Cache hits/misses this decision incurred on the shared cache.
     pub cache: EvalCacheStats,
+    /// Scoped threads the decision's candidate scans were allowed to use.
+    pub decision_threads: usize,
 }
 
 impl DecideReply {
@@ -722,11 +735,12 @@ impl DecideReply {
         format!(
             "{{\"id\":{id},\"ok\":true,\"op\":\"decide\",\"heuristic\":\"{}\",\
              \"decision\":\"{decision}\",\"assignment\":{assignment},\"latency_us\":{},\
-             \"cache_hits\":{},\"cache_misses\":{}}}",
+             \"cache_hits\":{},\"cache_misses\":{},\"decision_threads\":{}}}",
             escape(&self.heuristic),
             self.latency_us,
             self.cache.group_hits,
-            self.cache.group_misses
+            self.cache.group_misses,
+            self.decision_threads
         )
     }
 }
@@ -826,32 +840,69 @@ impl ScheduleService {
         }
     }
 
-    /// Answer a request group as one line: every member is answered in order
-    /// against the same warm cache (the group's later members hit what its
-    /// earlier members computed), with the group's total latency and cache
-    /// delta alongside the per-request replies.
+    /// Answer a request group as one line: every member is answered against
+    /// the same warm cache (the group's members hit what the others compute),
+    /// with the group's total latency and cache delta alongside the
+    /// per-request replies. With `--decision-threads N > 1` the group fans
+    /// out across a scoped pool — each thread answers its requests through a
+    /// serial [`EvalCache::with_decision_threads`] handle over the shared
+    /// sharded state, and the replies are reassembled in request order.
     fn handle_batch(&mut self, reqs: &[DecideRequest]) -> String {
         let before = self.core.cache.stats();
+        let threads = self.core.cache.decision_threads().min(reqs.len());
         let start = Instant::now();
-        let mut parts = Vec::with_capacity(reqs.len());
-        for req in reqs {
-            self.summary.requests += 1;
-            match self.core.decide(req) {
-                Ok(reply) => parts.push(reply.render()),
-                Err(err) => {
-                    self.summary.errors += 1;
-                    parts.push(error_line(req.id, &err));
-                }
-            }
-        }
+        let outcomes: Vec<Result<String, (Option<u64>, String)>> = if threads > 1 {
+            let core = &self.core;
+            let serial = core.cache.with_decision_threads(1);
+            let chunk = reqs.len().div_ceil(threads);
+            let chunked: Vec<Vec<_>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = reqs
+                    .chunks(chunk)
+                    .map(|part| {
+                        let serial = &serial;
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|req| match core.decide_with(req, serial) {
+                                    Ok(reply) => Ok(reply.render()),
+                                    Err(err) => Err((req.id, err)),
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("batch decision panicked")).collect()
+            });
+            chunked.into_iter().flatten().collect()
+        } else {
+            reqs.iter()
+                .map(|req| match self.core.decide(req) {
+                    Ok(reply) => Ok(reply.render()),
+                    Err(err) => Err((req.id, err)),
+                })
+                .collect()
+        };
         let latency_us = start.elapsed().as_micros() as u64;
+        let parts: Vec<String> = outcomes
+            .into_iter()
+            .map(|outcome| {
+                self.summary.requests += 1;
+                match outcome {
+                    Ok(line) => line,
+                    Err((id, err)) => {
+                        self.summary.errors += 1;
+                        error_line(id, &err)
+                    }
+                }
+            })
+            .collect();
         let delta = self.core.cache.stats().since(&before);
         format!(
             "{{\"ok\":true,\"op\":\"batch\",\"replies\":[{}],\"latency_us\":{latency_us},\
-             \"cache_hits\":{},\"cache_misses\":{}}}",
+             \"cache_hits\":{},\"cache_misses\":{},\"decision_threads\":{}}}",
             parts.join(","),
             delta.group_hits,
-            delta.group_misses
+            delta.group_misses,
+            self.core.cache.decision_threads()
         )
     }
 

@@ -37,7 +37,8 @@ use dg_platform::generator::{
 use serde::{Deserialize, Serialize};
 
 /// Names of the shipped suite presets, in registry order.
-pub const PRESET_NAMES: [&str; 5] = ["paper", "volatile", "largegrid", "commbound", "massive"];
+pub const PRESET_NAMES: [&str; 6] =
+    ["paper", "volatile", "largegrid", "commbound", "massive", "colossal"];
 
 /// A named scenario suite: factorial axes plus a generator model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -145,6 +146,22 @@ impl SuiteSpec {
         }
     }
 
+    /// The *colossal* suite: the `massive` workload at 10⁶ workers — the top
+    /// of the roadmap's scale axis. The same few worker profiles (clustered
+    /// speeds, 16 pooled availability classes) keep the per-decision worker
+    /// index small, so a decision's cost stays `O(p)` index build plus an
+    /// `O(classes)` scan; pair with `--decision-threads` to split that scan
+    /// across cores. One iteration: at this scale the point is the decision
+    /// itself, not trajectory statistics.
+    pub fn colossal() -> SuiteSpec {
+        SuiteSpec {
+            name: "colossal".to_string(),
+            workers: 1_000_000,
+            iterations: 1,
+            ..SuiteSpec::massive()
+        }
+    }
+
     /// Look a preset up by name.
     pub fn preset(name: &str) -> Option<SuiteSpec> {
         match name {
@@ -153,6 +170,7 @@ impl SuiteSpec {
             "largegrid" => Some(SuiteSpec::largegrid()),
             "commbound" => Some(SuiteSpec::commbound()),
             "massive" => Some(SuiteSpec::massive()),
+            "colossal" => Some(SuiteSpec::colossal()),
             _ => None,
         }
     }

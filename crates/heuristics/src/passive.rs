@@ -7,11 +7,15 @@
 //! configuration extended with that worker.
 
 use crate::candidate::CandidateConfig;
-use crate::context::SchedulingContext;
+use crate::context::{EvalScratch, SchedulingContext};
 use dg_analysis::IterationEstimate;
 use dg_sim::view::{Decision, Reevaluation, Scheduler, SimView};
 use dg_sim::Assignment;
 use serde::{Deserialize, Serialize};
+
+/// Minimum probe-list length before one greedy round spawns scoped threads;
+/// below this the spawn/join overhead dwarfs the evaluations.
+const PARALLEL_SCAN_MIN_PROBES: usize = 8;
 
 /// The four incremental task-placement criteria of Section VI-A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -92,23 +96,31 @@ pub fn build_incremental(
     }
 }
 
-/// The reference scan: every `UP` worker is probed for every task.
-pub fn build_incremental_exhaustive(
+/// One greedy round: probe every worker of `probe` against the partial
+/// `candidate` and return the winning `(worker, score)` under the serial
+/// first-maximizer rule, or `None` if no probed worker can take another task.
+///
+/// The serial reference walks `probe` in order and keeps the first strict
+/// maximizer (`score > best_score`). The parallel path splits `probe` into
+/// contiguous chunks, finds each chunk's first maximizer on its own scoped
+/// thread (with a private [`CandidateConfig`] clone and [`EvalScratch`],
+/// against the shared `Sync` estimator), then folds the chunk winners **in
+/// chunk order** under the same strict `>` — which selects exactly the
+/// serial winner, because every score is a pure function of
+/// `(worker, partial candidate, view)` and the first maximizer of a
+/// concatenation is the fold of the chunks' first maximizers.
+fn scan_round(
     context: &mut SchedulingContext,
     view: &SimView<'_>,
     kind: PassiveKind,
-) -> Option<Assignment> {
-    let m = view.application.tasks_per_iteration;
-    let up: Vec<usize> = view.up_workers();
-    if up.is_empty() {
-        return None;
-    }
-    let elapsed = view.elapsed_in_iteration();
-    let mut candidate = CandidateConfig::new(view.platform.num_workers());
-
-    for _ in 0..m {
+    candidate: &mut CandidateConfig,
+    probe: &[usize],
+    elapsed: u64,
+) -> Option<(usize, f64)> {
+    let threads = context.decision_threads().min(probe.len());
+    if threads <= 1 || probe.len() < PARALLEL_SCAN_MIN_PROBES {
         let mut best: Option<(usize, f64)> = None;
-        for &q in &up {
+        for &q in probe {
             if !view.platform.worker(q).can_hold(candidate.tasks_of(q) + 1) {
                 continue;
             }
@@ -124,7 +136,70 @@ pub fn build_incremental_exhaustive(
                 best = Some((q, score));
             }
         }
-        match best {
+        return best;
+    }
+
+    let estimator = context.estimator(view);
+    let chunk = probe.len().div_ceil(threads);
+    let chunk_best: Vec<Option<(usize, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = probe
+            .chunks(chunk)
+            .map(|part| {
+                let mut local = candidate.clone();
+                scope.spawn(move || {
+                    let mut scratch = EvalScratch::default();
+                    let mut best: Option<(usize, f64)> = None;
+                    for &q in part {
+                        if !view.platform.worker(q).can_hold(local.tasks_of(q) + 1) {
+                            continue;
+                        }
+                        local.add_task(q);
+                        let estimate = scratch.evaluate(estimator, view, local.entries());
+                        let score = kind.score(&estimate, elapsed);
+                        local.remove_task(q);
+                        let better = match best {
+                            None => true,
+                            Some((_, best_score)) => score > best_score,
+                        };
+                        if better {
+                            best = Some((q, score));
+                        }
+                    }
+                    best
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("candidate scan panicked")).collect()
+    });
+    let mut best: Option<(usize, f64)> = None;
+    for won in chunk_best.into_iter().flatten() {
+        let better = match best {
+            None => true,
+            Some((_, best_score)) => won.1 > best_score,
+        };
+        if better {
+            best = Some(won);
+        }
+    }
+    best
+}
+
+/// The reference scan: every `UP` worker is probed for every task.
+pub fn build_incremental_exhaustive(
+    context: &mut SchedulingContext,
+    view: &SimView<'_>,
+    kind: PassiveKind,
+) -> Option<Assignment> {
+    let m = view.application.tasks_per_iteration;
+    let up: Vec<usize> = view.up_workers();
+    if up.is_empty() {
+        return None;
+    }
+    let elapsed = view.elapsed_in_iteration();
+    let mut candidate = CandidateConfig::new(view.platform.num_workers());
+
+    for _ in 0..m {
+        match scan_round(context, view, kind, &mut candidate, &up, elapsed) {
             Some((q, _)) => candidate.add_task(q),
             None => return None, // no UP worker can take another task
         }
@@ -158,24 +233,7 @@ pub fn build_incremental_indexed(
 
     for _ in 0..m {
         index.candidates_into(candidate.occupied(), &mut probe);
-        let mut best: Option<(usize, f64)> = None;
-        for &q in &probe {
-            if !view.platform.worker(q).can_hold(candidate.tasks_of(q) + 1) {
-                continue;
-            }
-            candidate.add_task(q);
-            let estimate = context.evaluate(view, candidate.entries());
-            let score = kind.score(&estimate, elapsed);
-            candidate.remove_task(q);
-            let better = match best {
-                None => true,
-                Some((_, best_score)) => score > best_score,
-            };
-            if better {
-                best = Some((q, score));
-            }
-        }
-        match best {
+        match scan_round(context, view, kind, &mut candidate, &probe, elapsed) {
             Some((q, _)) => candidate.add_task(q),
             None => return None, // no candidate can take another task
         }

@@ -22,6 +22,12 @@ pub struct WorkerView {
 /// platform description (including the per-worker Markov chains, which are the
 /// published "availability statistics" the heuristics are allowed to use) and
 /// the progress of the current iteration.
+///
+/// The view is `Copy` and — holding only shared references to immutable
+/// state — `Send + Sync`, so a parallel candidate scan can share one `&SimView`
+/// across the scoped threads of a single decision. Anything *mutable* a probe
+/// needs (the partial candidate, evaluation scratch buffers) must be
+/// per-thread; the view itself never is.
 #[derive(Debug, Clone, Copy)]
 pub struct SimView<'a> {
     /// Current time-slot.
@@ -44,6 +50,15 @@ pub struct SimView<'a> {
     /// The configuration currently executing the iteration, if any.
     pub current: Option<&'a ActiveConfiguration>,
 }
+
+// The parallel candidate scan in `dg-heuristics` shares one view across the
+// scoped threads of a decision; fail the build, not the runtime, if a future
+// field (e.g. interior mutability or a non-Sync handle) ever breaks that.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync + Copy>() {}
+    assert_shareable::<SimView<'static>>();
+    assert_shareable::<WorkerView>();
+};
 
 impl<'a> SimView<'a> {
     /// Indices of the workers that are `UP` during the current slot.
